@@ -1,0 +1,288 @@
+package tempo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// ---------------------------------------------------------------------
+// Figure benchmarks: each regenerates one paper figure at quick scale
+// and reports its headline metric. `go test -bench Fig -benchtime 1x`
+// reproduces the whole evaluation in miniature; cmd/tempo-bench runs
+// the full-scale version.
+// ---------------------------------------------------------------------
+
+// benchScale trims quick scale a little further so the full bench
+// suite stays tractable on one core.
+func benchScale() Scale {
+	s := QuickScale()
+	s.Records = 10_000
+	s.Footprint = 384 << 20
+	return s
+}
+
+func benchFigure(b *testing.B, id, metricLabel, rowLabel, column string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunFigure(id, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rowLabel != "" {
+			if v, ok := rep.Value(rowLabel, column); ok {
+				b.ReportMetric(v, metricLabel)
+			}
+		}
+	}
+}
+
+func BenchmarkFig01RuntimeBreakdown(b *testing.B) {
+	benchFigure(b, "fig01", "xsbench-PTW-frac", "xsbench", "DRAM-PTW")
+}
+
+func BenchmarkFig04DRAMRefBreakdown(b *testing.B) {
+	benchFigure(b, "fig04", "xsbench-PTW-frac", "xsbench", "DRAM-PTW")
+}
+
+func BenchmarkFig10TempoImprovement(b *testing.B) {
+	benchFigure(b, "fig10", "xsbench-perf-improvement", "xsbench", "perf")
+}
+
+func BenchmarkFig11ReplayService(b *testing.B) {
+	benchFigure(b, "fig11", "xsbench-LLC-frac", "xsbench", "LLC")
+}
+
+func BenchmarkFig12TempoWithIMP(b *testing.B) {
+	benchFigure(b, "fig12", "spmv-perf-with-IMP", "spmv", "perf+IMP")
+}
+
+func BenchmarkFig13SuperpageSweep(b *testing.B) {
+	benchFigure(b, "fig13", "xsbench-4K-improvement", "xsbench/4KB-only", "perf")
+}
+
+func BenchmarkFig14RowPolicies(b *testing.B) {
+	benchFigure(b, "fig14", "xsbench-closed-improvement", "xsbench", "closed")
+}
+
+func BenchmarkFig15PTRowWait(b *testing.B) {
+	benchFigure(b, "fig15", "xsbench-wait10-improvement", "xsbench", "wait10")
+}
+
+func BenchmarkFig16BLISS(b *testing.B) {
+	benchFigure(b, "fig16", "weight1-wspeedup-improvement", "weight=1", "wspeedup")
+}
+
+func BenchmarkFig17SubRows(b *testing.B) {
+	benchFigure(b, "fig17", "FOA2-wspeedup-improvement", "FOA/dedicated=2", "wspeedup")
+}
+
+// ---------------------------------------------------------------------
+// Ablation bench: TEMPO's two prefetch destinations separately (the
+// design choice DESIGN.md calls out). Reports the improvement of
+// row-buffer-only prefetching and of the full mechanism.
+// ---------------------------------------------------------------------
+
+func BenchmarkAblationTempoComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig("xsbench")
+		cfg.Records = 10_000
+		cfg.Workloads[0].Footprint = 384 << 20
+		base, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Tempo = DefaultTempo()
+		cfg.Tempo.LLCPrefetch = false
+		rowOnly, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Tempo.LLCPrefetch = true
+		full, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc := float64(base.Total.Cycles)
+		b.ReportMetric((bc-float64(rowOnly.Total.Cycles))/bc, "rowbuf-only-improvement")
+		b.ReportMetric((bc-float64(full.Total.Cycles))/bc, "full-tempo-improvement")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks of the core structures, for profiling the simulator
+// itself.
+// ---------------------------------------------------------------------
+
+func BenchmarkTLBLookup(b *testing.B) {
+	t := tlb.New(tlb.DefaultConfig())
+	for i := uint64(0); i < 2048; i++ {
+		t.Insert(vm.Translation{VBase: mem.VAddr(i << 12), Frame: mem.Frame(i), Class: mem.Page4K})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(mem.VAddr(uint64(i%4096) << 12))
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{Name: "bench", SizeB: 1 << 20, Ways: 8, LatencyC: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mem.PAddr(uint64(i%100000) << 6)
+		if hit, _ := c.Access(p, false); !hit {
+			c.Fill(p, cache.FillDemand, false)
+		}
+	}
+}
+
+func BenchmarkBuddyAllocFree(b *testing.B) {
+	bd := vm.NewBuddy(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := bd.AllocFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bd.Free(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageTableWalkSW(b *testing.B) {
+	bd := vm.NewBuddy(1 << 18)
+	pt, err := vm.NewPageTable(bd.AllocFrame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 1024; i++ {
+		f, _ := bd.AllocFrame()
+		if err := pt.Map(mem.VAddr(i<<12), mem.Page4K, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Walk(mem.VAddr(uint64(i%1024) << 12))
+	}
+}
+
+func BenchmarkDRAMControllerAccess(b *testing.B) {
+	var st stats.Stats
+	ctrl := dram.NewController(dram.DefaultConfig(), sched.NewFRFCFS(), &st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &dram.Request{Addr: mem.PAddr(uint64(i) * 4096), Enqueue: uint64(i) * 10}
+		ctrl.Submit(r)
+		ctrl.RunUntil(r)
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig("graph500")
+	cfg.Workloads[0].Footprint = 256 << 20
+	cfg.Records = b.N
+	if cfg.Records < 100 {
+		cfg.Records = 100
+	}
+	b.ResetTimer()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cfg.Records)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkAblationSchedulerAware isolates TEMPO's Section 4.3
+// transaction-queue policies from its prefetching on a 4-core run.
+func BenchmarkAblationSchedulerAware(b *testing.B) {
+	mk := func(aware bool) Config {
+		cfg := DefaultConfig("xsbench")
+		cfg.Records = 3_000
+		cfg.Workloads = nil
+		for i := 0; i < 4; i++ {
+			cfg.Workloads = append(cfg.Workloads, WorkloadSpec{
+				Name: "xsbench", Footprint: 256 << 20, Seed: int64(i + 1),
+			})
+		}
+		cfg.SharedAddressSpace = true
+		cfg.Tempo = DefaultTempo()
+		cfg.Tempo.SchedulerAware = aware
+		return cfg
+	}
+	for i := 0; i < b.N; i++ {
+		base := mk(true)
+		base.Tempo = TempoConfig{}
+		bres, err := Run(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bc := float64(bres.Total.Cycles)
+		aware, err := Run(mk(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, err := Run(mk(false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((bc-float64(aware.Total.Cycles))/bc, "aware-improvement")
+		b.ReportMetric((bc-float64(plain.Total.Cycles))/bc, "prefetch-only-improvement")
+	}
+}
+
+// BenchmarkAblationRowBufferSize sweeps the row-buffer size (the
+// paper's "alternative row buffer organisations").
+func BenchmarkAblationRowBufferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kb := range []uint64{4, 8, 16} {
+			cfg := DefaultConfig("xsbench")
+			cfg.Records = 10_000
+			cfg.Workloads[0].Footprint = 384 << 20
+			cfg.Machine.DRAM.Geometry.RowBytes = kb << 10
+			base, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Tempo = DefaultTempo()
+			tempo, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imp := 1 - float64(tempo.Total.Cycles)/float64(base.Total.Cycles)
+			b.ReportMetric(imp, fmt.Sprintf("row%dKB-improvement", kb))
+		}
+	}
+}
+
+// BenchmarkAblationLLCReplacement compares TEMPO under LRU and SRRIP
+// last-level caches (SRRIP inserts prefetches at a distant interval,
+// probing pollution sensitivity).
+func BenchmarkAblationLLCReplacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, rep := range []cache.Replacement{cache.ReplaceLRU, cache.ReplaceSRRIP} {
+			cfg := DefaultConfig("xsbench")
+			cfg.Records = 10_000
+			cfg.Workloads[0].Footprint = 384 << 20
+			cfg.Machine.Caches.LLC.Replace = rep
+			base, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Tempo = DefaultTempo()
+			tempo, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imp := 1 - float64(tempo.Total.Cycles)/float64(base.Total.Cycles)
+			b.ReportMetric(imp, rep.String()+"-improvement")
+		}
+	}
+}

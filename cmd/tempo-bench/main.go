@@ -1,0 +1,122 @@
+// Command tempo-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	tempo-bench                      # every figure, full scale
+//	tempo-bench -scale quick         # fast pass
+//	tempo-bench -figure fig10,fig13  # a subset
+//	tempo-bench -o results.txt       # also write a report file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	tempo "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "full", "experiment scale: quick or full")
+		figures   = flag.String("figure", "", "comma-separated figure ids (default: all)")
+		out       = flag.String("o", "", "also write the reports to this file")
+		csvDir    = flag.String("csv", "", "also write one CSV per figure into this directory")
+		verbose   = flag.Bool("v", false, "log every simulation run")
+		claims    = flag.Bool("claims", false, "after the figures, evaluate the paper's qualitative claims")
+		extras    = flag.Bool("extras", false, "also run the ablation studies (abl01..abl04)")
+		compare   = flag.String("compare", "", "write a paper-vs-measured markdown table to this file")
+	)
+	flag.Parse()
+
+	var scale tempo.Scale
+	switch *scaleName {
+	case "quick":
+		scale = tempo.QuickScale()
+	case "full":
+		scale = tempo.FullScale()
+	default:
+		fatal("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	var selected []experiments.Figure
+	if *figures == "" {
+		selected = experiments.All()
+		if *extras {
+			selected = append(selected, experiments.Extras()...)
+		}
+	} else {
+		for _, id := range strings.Split(*figures, ",") {
+			f, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatal("unknown figure %q", id)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	runner := tempo.NewRunner(scale)
+	if *verbose {
+		runner.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "TEMPO evaluation — scale=%s\n\n", scale.Name)
+	start := time.Now()
+	for _, f := range selected {
+		fmt.Fprintf(os.Stderr, "== %s: %s\n", f.ID, f.Title)
+		t0 := time.Now()
+		rep, err := f.Run(runner)
+		if err != nil {
+			fatal("%s: %v", f.ID, err)
+		}
+		fmt.Fprintf(os.Stderr, "   done in %v\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Println(rep)
+		fmt.Fprintln(&report, rep)
+		if *csvDir != "" {
+			path := *csvDir + "/" + f.ID + ".csv"
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fatal("writing %s: %v", path, err)
+			}
+		}
+	}
+	if *compare != "" {
+		fmt.Fprintln(os.Stderr, "== comparing against the paper's bands")
+		table, err := experiments.ComparePaper(runner)
+		if err != nil {
+			fatal("compare: %v", err)
+		}
+		if err := os.WriteFile(*compare, []byte(table), 0o644); err != nil {
+			fatal("writing %s: %v", *compare, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *compare)
+	}
+	if *claims {
+		fmt.Fprintln(os.Stderr, "== evaluating paper claims")
+		results, err := experiments.EvaluateClaims(runner)
+		if err != nil {
+			fatal("claims: %v", err)
+		}
+		table := experiments.FormatClaims(results)
+		fmt.Println(table)
+		fmt.Fprintln(&report, table)
+	}
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fatal("writing %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tempo-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

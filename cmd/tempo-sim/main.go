@@ -1,0 +1,201 @@
+// Command tempo-sim runs one simulator configuration and prints the
+// statistics the paper's figures are built from.
+//
+// Usage:
+//
+//	tempo-sim -workload xsbench -records 200000 -tempo
+//	tempo-sim -workload xsbench -cores 4 -shared-as -tempo -scheduler bliss
+//	tempo-sim -workload spmv -imp -tempo -pagemode 4k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tempo "repro"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// options carries the parsed command line; buildConfig translates it
+// into a simulator configuration (kept separate so it can be tested).
+type options struct {
+	workload  string
+	tracePath string
+	records   int
+	footprint uint64 // MB
+	cores     int
+	sharedAS  bool
+	tempoOn   bool
+	llcPf     bool
+	ptWait    uint64
+	impOn     bool
+	scheduler string
+	rowPolicy string
+	pageMode  string
+	memhog    float64
+	subRows   int
+	pfSubRows int
+	seed      int64
+}
+
+// buildConfig validates the options and assembles a run configuration.
+func buildConfig(o options) (tempo.Config, error) {
+	cfg := tempo.DefaultConfig(o.workload)
+	cfg.Records = o.records
+	cfg.Seed = o.seed
+	cfg.Workloads = nil
+	for i := 0; i < o.cores; i++ {
+		cfg.Workloads = append(cfg.Workloads, tempo.WorkloadSpec{
+			Name: o.workload, Footprint: o.footprint << 20, Seed: int64(i + 1),
+			TracePath: o.tracePath,
+		})
+	}
+	cfg.SharedAddressSpace = o.sharedAS
+	if o.tempoOn {
+		cfg.Tempo = tempo.DefaultTempo()
+		cfg.Tempo.LLCPrefetch = o.llcPf
+		cfg.Tempo.PTRowWait = o.ptWait
+	}
+	cfg.IMP = o.impOn
+	switch o.scheduler {
+	case "frfcfs":
+		cfg.Scheduler = tempo.SchedFRFCFS
+	case "bliss":
+		cfg.Scheduler = tempo.SchedBLISS
+	default:
+		return cfg, fmt.Errorf("unknown scheduler %q", o.scheduler)
+	}
+	switch o.rowPolicy {
+	case "adaptive":
+		cfg.Machine.DRAM.Policy = tempo.PolicyAdaptive
+	case "open":
+		cfg.Machine.DRAM.Policy = tempo.PolicyOpen
+	case "closed":
+		cfg.Machine.DRAM.Policy = tempo.PolicyClosed
+	default:
+		return cfg, fmt.Errorf("unknown row policy %q", o.rowPolicy)
+	}
+	switch o.pageMode {
+	case "4k":
+		cfg.OS.Mode = vm.Mode4KOnly
+	case "thp":
+		cfg.OS.Mode = vm.ModeTHP
+	case "hugetlbfs2m":
+		cfg.OS.Mode = vm.ModeHugetlbfs2M
+		cfg.OS.ReserveFraction = 0.85
+	case "hugetlbfs1g":
+		cfg.OS.Mode = vm.ModeHugetlbfs1G
+		cfg.OS.ReserveFraction = 0.60
+	default:
+		return cfg, fmt.Errorf("unknown page mode %q", o.pageMode)
+	}
+	cfg.OS.MemhogFraction = o.memhog
+	cfg.SubRows = o.subRows
+	cfg.PrefetchSubRows = o.pfSubRows
+	return cfg, nil
+}
+
+func main() {
+	var o options
+	var list bool
+	flag.StringVar(&o.workload, "workload", "xsbench", "workload name (see -list)")
+	flag.StringVar(&o.tracePath, "trace", "", "replay a tempo-trace file instead of a generator")
+	flag.BoolVar(&list, "list", false, "list available workloads and exit")
+	flag.IntVar(&o.records, "records", 200_000, "trace records per core")
+	flag.Uint64Var(&o.footprint, "footprint-mb", 0, "workload footprint in MB (0 = default)")
+	flag.IntVar(&o.cores, "cores", 1, "number of cores running the workload")
+	flag.BoolVar(&o.sharedAS, "shared-as", false, "cores share one address space (threads)")
+	flag.BoolVar(&o.tempoOn, "tempo", false, "enable TEMPO")
+	flag.BoolVar(&o.llcPf, "tempo-llc", true, "TEMPO prefetches into the LLC (false = row buffer only)")
+	flag.Uint64Var(&o.ptWait, "pt-wait", 10, "TEMPO PT-row wait cycles")
+	flag.BoolVar(&o.impOn, "imp", false, "enable the IMP indirect prefetcher")
+	flag.StringVar(&o.scheduler, "scheduler", "frfcfs", "memory scheduler: frfcfs or bliss")
+	flag.StringVar(&o.rowPolicy, "row-policy", "adaptive", "row policy: adaptive, open, closed")
+	flag.StringVar(&o.pageMode, "pagemode", "thp", "paging: 4k, thp, hugetlbfs2m, hugetlbfs1g")
+	flag.Float64Var(&o.memhog, "memhog", 0, "memhog fragmentation fraction (0..0.75)")
+	flag.IntVar(&o.subRows, "sub-rows", 0, "sub-row buffers per bank (0 = single row buffer)")
+	flag.IntVar(&o.pfSubRows, "prefetch-sub-rows", 0, "sub-rows dedicated to TEMPO prefetches")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.Parse()
+
+	if list {
+		fmt.Println("big-data workloads:   ", strings.Join(tempo.BigWorkloads(), " "))
+		fmt.Println("small-footprint:      ", strings.Join(tempo.SmallWorkloads(), " "))
+		return
+	}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := tempo.Run(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	printResult(res, cfg)
+}
+
+func printResult(res *tempo.Result, cfg tempo.Config) {
+	st := &res.Total
+	fmt.Printf("workload            %s ×%d (%s)\n", cfg.Workloads[0].Name, len(cfg.Workloads), mode(cfg))
+	fmt.Printf("cycles              %d\n", st.Cycles)
+	fmt.Printf("instructions        %d (IPC %.4f)\n", st.Instructions, st.IPC())
+	fmt.Printf("memory references   %d\n", st.MemRefs)
+	fmt.Printf("TLB miss rate       %.4f (%d walks, %d leaf PTEs from DRAM)\n",
+		st.TLBMissRate(), st.WalksStarted, st.WalkDRAMTouched)
+	fmt.Printf("runtime fractions   PTW %.3f  replay %.3f  other-DRAM %.3f\n",
+		st.RuntimeFraction(tempo.DRAMPTW), st.RuntimeFraction(tempo.DRAMReplay),
+		st.RuntimeFraction(tempo.DRAMOther))
+	fmt.Printf("DRAM refs           PTW %.3f  replay %.3f  other %.3f  (leaf share %.3f, replay follows %.3f)\n",
+		st.DRAMRefFraction(tempo.DRAMPTW), st.DRAMRefFraction(tempo.DRAMReplay),
+		st.DRAMRefFraction(tempo.DRAMOther), st.LeafPTWFraction(), st.ReplayAfterPTWFraction())
+	if res.TempoOn {
+		fmt.Printf("TEMPO               triggers %d  prefetches %d  suppressed %d  LLC fills %d  useful %d\n",
+			st.TempoTriggers, st.TempoPrefetches, st.TempoSuppressed, st.TempoLLCFills, st.TempoUseful)
+		fmt.Printf("replay service      LLC %.3f  row-buffer %.3f  DRAM-array %.3f\n",
+			st.ReplayServiceFraction(tempo.ReplayLLC),
+			st.ReplayServiceFraction(tempo.ReplayRowBuffer),
+			st.ReplayServiceFraction(tempo.ReplayDRAMArray))
+	}
+	if st.IMPPrefetches > 0 {
+		fmt.Printf("IMP                 prefetches %d  useful %d\n", st.IMPPrefetches, st.IMPUseful)
+	}
+	fmt.Printf("DRAM latency (p50/p99, cycles, enqueue→done):\n")
+	for _, cat := range []stats.DRAMCategory{tempo.DRAMPTW, tempo.DRAMReplay, tempo.DRAMOther} {
+		if st.DRAMRefs[cat] == 0 {
+			continue
+		}
+		fmt.Printf("  %-20s <%d / <%d\n", cat,
+			st.DRAMLatencyPercentile(cat, 0.50), st.DRAMLatencyPercentile(cat, 0.99))
+	}
+	fmt.Printf("superpage coverage  %.3f\n", res.Superpage[0])
+	e := res.Energy
+	fmt.Printf("energy              %.4f J (static %.4f, DRAM %.4f, CPU %.4f, TEMPO %.4f)\n",
+		e.Total(), e.StaticJ, e.DRAMDynJ, e.CPUDynJ, e.TempoJ)
+	if len(res.Cores) > 1 {
+		for i := range res.Cores {
+			fmt.Printf("core %d              cycles %d  IPC %.4f\n", i, res.Cores[i].Cycles, res.Cores[i].IPC())
+		}
+	}
+}
+
+func mode(cfg tempo.Config) string {
+	parts := []string{cfg.OS.Mode.String()}
+	if cfg.Tempo.Enabled {
+		parts = append(parts, "TEMPO")
+	}
+	if cfg.IMP {
+		parts = append(parts, "IMP")
+	}
+	if cfg.Scheduler == tempo.SchedBLISS {
+		parts = append(parts, "BLISS")
+	}
+	return strings.Join(parts, "+")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tempo-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Multiprogrammed runs a BLISS fairness study: four applications of
+// mixed memory intensity share the LLC and memory controller, and we
+// measure weighted speedup and maximum slowdown with and without
+// TEMPO — the Section 4.3 / Figure 16 setting in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tempo "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	mix := []tempo.WorkloadSpec{
+		{Name: "xsbench", Footprint: 512 << 20, Seed: 1},
+		{Name: "graph500", Footprint: 512 << 20, Seed: 2},
+		{Name: "mcf", Footprint: 512 << 20, Seed: 3},
+		{Name: "gcc.small", Seed: 4},
+	}
+
+	// Alone-IPC baselines: each application with the machine to
+	// itself.
+	alone := make([]float64, len(mix))
+	for i, spec := range mix {
+		cfg := tempo.DefaultConfig(spec.Name)
+		cfg.Records = 20_000
+		cfg.Workloads = []tempo.WorkloadSpec{spec}
+		res, err := tempo.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alone[i] = res.Cores[0].IPC()
+		fmt.Printf("alone  %-10s IPC %.4f\n", spec.Name, alone[i])
+	}
+	fmt.Println()
+
+	runMix := func(label string, tempoOn bool) {
+		cfg := tempo.DefaultConfig(mix[0].Name)
+		cfg.Records = 20_000
+		cfg.Workloads = mix
+		cfg.Scheduler = tempo.SchedBLISS
+		if tempoOn {
+			cfg.Tempo = tempo.DefaultTempo() // half-weight counters, 15-cycle grace
+		}
+		res, err := tempo.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shared := make([]float64, len(mix))
+		for i := range res.Cores {
+			shared[i] = res.Cores[i].IPC()
+		}
+		ws, err := metrics.WeightedSpeedup(alone, shared)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := metrics.MaxSlowdown(alone, shared)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s weighted speedup %.3f   max slowdown %.3f\n", label, ws, ms)
+		for i, spec := range mix {
+			fmt.Printf("   %-10s shared IPC %.4f (%.2fx slowdown)\n",
+				spec.Name, shared[i], alone[i]/shared[i])
+		}
+	}
+	runMix("BLISS", false)
+	fmt.Println()
+	runMix("BLISS+TEMPO", true)
+}

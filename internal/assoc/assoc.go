@@ -1,0 +1,109 @@
+// Package assoc provides a generic set-associative array with true LRU
+// replacement. It is the storage building block for the TLBs, the MMU
+// page-walk caches, and the adaptive row-policy prediction cache.
+package assoc
+
+// Assoc is a set-associative array with LRU replacement mapping uint64
+// keys to values of type V. Sets must be a power of two.
+type Assoc[V any] struct {
+	sets, ways int
+	setMask    uint64
+	tick       uint64
+	valid      []bool
+	tags       []uint64
+	stamp      []uint64
+	vals       []V
+}
+
+// New builds an array with the given geometry. A sets value of 1
+// yields a fully-associative array. Panics on invalid geometry.
+func New[V any](sets, ways int) *Assoc[V] {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("assoc: sets must be a positive power of two and ways positive")
+	}
+	n := sets * ways
+	return &Assoc[V]{
+		sets: sets, ways: ways, setMask: uint64(sets - 1),
+		valid: make([]bool, n),
+		tags:  make([]uint64, n),
+		stamp: make([]uint64, n),
+		vals:  make([]V, n),
+	}
+}
+
+// Entries returns the total capacity.
+func (a *Assoc[V]) Entries() int { return a.sets * a.ways }
+
+// Lookup probes for key, updating LRU state on a hit.
+func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
+	base := int(key&a.setMask) * a.ways
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == key {
+			a.tick++
+			a.stamp[i] = a.tick
+			return a.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek probes without touching LRU state.
+func (a *Assoc[V]) Peek(key uint64) (V, bool) {
+	base := int(key&a.setMask) * a.ways
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == key {
+			return a.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert installs key→val, replacing the LRU way of the set (or
+// updating in place on a key match).
+func (a *Assoc[V]) Insert(key uint64, val V) {
+	base := int(key&a.setMask) * a.ways
+	victim := base
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == key {
+			victim = i
+			break
+		}
+		if !a.valid[i] {
+			victim = i
+			break
+		}
+		if a.stamp[i] < a.stamp[victim] {
+			victim = i
+		}
+	}
+	a.tick++
+	a.valid[victim] = true
+	a.tags[victim] = key
+	a.stamp[victim] = a.tick
+	a.vals[victim] = val
+}
+
+// Invalidate removes key if present, returning whether it was found.
+func (a *Assoc[V]) Invalidate(key uint64) bool {
+	base := int(key&a.setMask) * a.ways
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == key {
+			a.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the array.
+func (a *Assoc[V]) Flush() {
+	for i := range a.valid {
+		a.valid[i] = false
+	}
+}

@@ -1,0 +1,257 @@
+// Package cache models the on-chip cache hierarchy: generic
+// set-associative write-back caches with LRU replacement, composed
+// into a per-core L1/L2 plus (possibly shared) LLC hierarchy. The LLC
+// is where TEMPO's prefetched replay data lands, so lines carry a
+// prefetch provenance tag that lets the simulator classify replay
+// service points (Figure 11) and prefetch usefulness.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Provenance records how a line entered the cache.
+type Provenance uint8
+
+const (
+	// FillDemand is an ordinary demand fill.
+	FillDemand Provenance = iota
+	// FillTempo is a TEMPO post-translation prefetch.
+	FillTempo
+	// FillIMP is an IMP indirect prefetch.
+	FillIMP
+)
+
+// Replacement selects the victim-choice policy.
+type Replacement uint8
+
+const (
+	// ReplaceLRU is true least-recently-used replacement.
+	ReplaceLRU Replacement = iota
+	// ReplaceSRRIP is static re-reference interval prediction with
+	// 2-bit RRPVs (Jaleel et al.): scan-resistant, and it inserts
+	// prefetched lines at a distant interval so speculative fills
+	// cannot sweep the reused working set.
+	ReplaceSRRIP
+)
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	switch r {
+	case ReplaceLRU:
+		return "LRU"
+	case ReplaceSRRIP:
+		return "SRRIP"
+	default:
+		return "Replacement(?)"
+	}
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	stamp uint64
+	rrpv  uint8
+	prov  Provenance
+}
+
+// Cache is one set-associative write-back cache level.
+type Cache struct {
+	name    string
+	sets    int
+	ways    int
+	setMask uint64
+	latency uint64
+	replace Replacement
+	tick    uint64
+	lines   []line
+
+	// Hits and Misses count demand lookups.
+	Hits, Misses uint64
+	// Writebacks counts dirty evictions.
+	Writebacks uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	SizeB    uint64 // total capacity in bytes
+	Ways     int
+	LatencyC uint64 // total load-to-use latency in cycles
+	// Replace selects the replacement policy (default LRU).
+	Replace Replacement
+}
+
+// New builds a cache. Size must be a power-of-two multiple of
+// Ways × 64B lines.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.SizeB == 0 {
+		panic(fmt.Sprintf("cache %q: invalid geometry", cfg.Name))
+	}
+	linesTotal := cfg.SizeB / mem.LineSize
+	sets := int(linesTotal) / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 || uint64(sets*cfg.Ways)*mem.LineSize != cfg.SizeB {
+		panic(fmt.Sprintf("cache %q: %dB/%d-way does not form a power-of-two set count", cfg.Name, cfg.SizeB, cfg.Ways))
+	}
+	return &Cache{
+		name:    cfg.Name,
+		sets:    sets,
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+		latency: cfg.LatencyC,
+		replace: cfg.Replace,
+		lines:   make([]line, sets*cfg.Ways),
+	}
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the load-to-use hit latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+func (c *Cache) index(p mem.PAddr) (base int, tag uint64) {
+	lineAddr := uint64(p) >> mem.LineShift
+	return int(lineAddr&c.setMask) * c.ways, lineAddr
+}
+
+// Access looks up the line holding p, updating LRU and hit/miss
+// counters. On a hit it returns true plus the line's provenance, and
+// demotes the provenance to FillDemand (a prefetched line is counted
+// useful only once). Write hits mark the line dirty.
+func (c *Cache) Access(p mem.PAddr, write bool) (bool, Provenance) {
+	base, tag := c.index(p)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			c.tick++
+			l.stamp = c.tick
+			l.rrpv = 0 // SRRIP: near re-reference on a hit
+			if write {
+				l.dirty = true
+			}
+			prov := l.prov
+			l.prov = FillDemand
+			c.Hits++
+			return true, prov
+		}
+	}
+	c.Misses++
+	return false, FillDemand
+}
+
+// Contains peeks for p without disturbing LRU or counters.
+func (c *Cache) Contains(p mem.PAddr) bool {
+	base, tag := c.index(p)
+	for w := 0; w < c.ways; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes an eviction caused by a fill.
+type Victim struct {
+	Addr  mem.PAddr
+	Dirty bool
+}
+
+// Fill installs the line holding p with the given provenance, evicting
+// the LRU way if the set is full. It returns the victim, if any. A
+// line that is already resident is refreshed in place and keeps its
+// existing provenance: prefetching something already cached earns no
+// usefulness credit.
+func (c *Cache) Fill(p mem.PAddr, prov Provenance, dirty bool) (Victim, bool) {
+	base, tag := c.index(p)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			c.tick++
+			l.stamp = c.tick
+			if dirty {
+				l.dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	victim := c.chooseVictim(base)
+	l := &c.lines[victim]
+	var out Victim
+	evicted := false
+	if l.valid {
+		out = Victim{Addr: mem.PAddr(l.tag << mem.LineShift), Dirty: l.dirty}
+		evicted = true
+		if l.dirty {
+			c.Writebacks++
+		}
+	}
+	c.tick++
+	rrpv := uint8(2) // SRRIP: long re-reference interval on insertion
+	if prov != FillDemand {
+		rrpv = 3 // prefetches insert at a distant interval
+	}
+	*l = line{valid: true, dirty: dirty, tag: tag, stamp: c.tick, rrpv: rrpv, prov: prov}
+	return out, evicted
+}
+
+// chooseVictim picks the way to replace in the set starting at base.
+func (c *Cache) chooseVictim(base int) int {
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			return base + w
+		}
+	}
+	if c.replace == ReplaceSRRIP {
+		for {
+			for w := 0; w < c.ways; w++ {
+				if c.lines[base+w].rrpv >= 3 {
+					return base + w
+				}
+			}
+			for w := 0; w < c.ways; w++ {
+				c.lines[base+w].rrpv++
+			}
+		}
+	}
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if c.lines[base+w].stamp < c.lines[victim].stamp {
+			victim = base + w
+		}
+	}
+	return victim
+}
+
+// Invalidate drops the line holding p if present, returning whether it
+// was present and dirty.
+func (c *Cache) Invalidate(p mem.PAddr) (present, dirty bool) {
+	base, tag := c.index(p)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// Flush empties the cache, returning the number of dirty lines dropped.
+func (c *Cache) Flush() uint64 {
+	var dirty uint64
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			dirty++
+		}
+		c.lines[i].valid = false
+	}
+	return dirty
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/ptwalk"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+func newSpace(t *testing.T, mode vm.PageMode) *vm.AddressSpace {
+	t.Helper()
+	cfg := vm.DefaultOSConfig(1 << 18)
+	cfg.Mode = mode
+	cfg.THPEligibility = 1.0
+	as, err := vm.NewAddressSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func leafRequestFor(t *testing.T, as *vm.AddressSpace, v mem.VAddr) *dram.Request {
+	t.Helper()
+	steps, n, ok := as.Table().Walk(v)
+	if !ok {
+		t.Fatal("walk failed")
+	}
+	return &dram.Request{
+		Addr:       steps[n-1].PTEAddr,
+		IsLeafPT:   true,
+		ReplayLine: ptwalk.ReplayLineOf(v),
+		CoreID:     0,
+	}
+}
+
+func TestEnginePrefetchTargetsExactReplayAddress(t *testing.T) {
+	as := newSpace(t, vm.Mode4KOnly)
+	v := mem.VAddr(0x7F00_1234_5A7C)
+	tr, _, err := as.Touch(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Stats{}
+	e := NewEngine(as.Table(), st)
+	pf := e.OnLeafPTServed(leafRequestFor(t, as, v), 500)
+	if pf == nil {
+		t.Fatal("engine returned no prefetch")
+	}
+	want := tr.Translate(v).Line()
+	if pf.Addr != want {
+		t.Errorf("prefetch addr = %#x, want %#x", uint64(pf.Addr), uint64(want))
+	}
+	if pf.Enqueue != 500 {
+		t.Errorf("enqueue = %d", pf.Enqueue)
+	}
+	if st.TempoTriggers != 1 || st.TempoPrefetches != 1 || st.TempoSuppressed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineSuperpageTarget(t *testing.T) {
+	as := newSpace(t, vm.ModeTHP)
+	v := mem.VAddr(0x4000_0000 + 0x12_34C0) // inside a 2MB page
+	tr, _, err := as.Touch(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Class != mem.Page2M {
+		t.Fatalf("class = %v", tr.Class)
+	}
+	e := NewEngine(as.Table(), &stats.Stats{})
+	pf := e.OnLeafPTServed(leafRequestFor(t, as, v), 0)
+	if pf == nil {
+		t.Fatal("no prefetch for superpage leaf")
+	}
+	if want := tr.Translate(v).Line(); pf.Addr != want {
+		t.Errorf("2MB prefetch addr = %#x, want %#x", uint64(pf.Addr), uint64(want))
+	}
+}
+
+func TestEngineSuppressesUnallocatedPTE(t *testing.T) {
+	as := newSpace(t, vm.Mode4KOnly)
+	v := mem.VAddr(0x7F00_0000_0000)
+	if _, _, err := as.Touch(v); err != nil {
+		t.Fatal(err)
+	}
+	// Build a leaf request for a *sibling* entry in the same L1 table
+	// that was never mapped: present bit clear.
+	steps, n, _ := as.Table().Walk(v)
+	leaf := steps[n-1]
+	sibling := leaf.PTEAddr + 8*17 // entry 17 slots away, unmapped
+	st := &stats.Stats{}
+	e := NewEngine(as.Table(), st)
+	pf := e.OnLeafPTServed(&dram.Request{Addr: sibling, IsLeafPT: true}, 0)
+	if pf != nil {
+		t.Error("unallocated PTE must not trigger a prefetch")
+	}
+	if st.TempoSuppressed != 1 {
+		t.Error("suppression not counted")
+	}
+	// An address outside any table page is also suppressed.
+	pf = e.OnLeafPTServed(&dram.Request{Addr: 0xFFFF_F000, IsLeafPT: true}, 0)
+	if pf != nil {
+		t.Error("non-table address must not trigger a prefetch")
+	}
+}
+
+func TestEngineSuppressesInteriorEntry(t *testing.T) {
+	as := newSpace(t, vm.Mode4KOnly)
+	v := mem.VAddr(0x1000)
+	if _, _, err := as.Touch(v); err != nil {
+		t.Fatal(err)
+	}
+	steps, _, _ := as.Table().Walk(v)
+	// steps[2] is the L2 entry: present but not a leaf (points at the
+	// L1 table). A buggy tag on it must not produce a prefetch.
+	st := &stats.Stats{}
+	e := NewEngine(as.Table(), st)
+	if pf := e.OnLeafPTServed(&dram.Request{Addr: steps[2].PTEAddr, IsLeafPT: true}, 0); pf != nil {
+		t.Error("interior PTE must not trigger a prefetch")
+	}
+}
+
+func TestMultiReaderDispatch(t *testing.T) {
+	buddy := vm.NewBuddy(1 << 18)
+	cfg := vm.DefaultOSConfig(1 << 18)
+	cfg.Mode = vm.Mode4KOnly
+	as1, err := vm.NewAddressSpaceShared(cfg, buddy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	as2, err := vm.NewAddressSpaceShared(cfg2, buddy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mem.VAddr(0xAAAA_0000)
+	if _, _, err := as2.Touch(v); err != nil {
+		t.Fatal(err)
+	}
+	reader := MultiReader{as1.Table(), as2.Table()}
+	steps, n, _ := as2.Table().Walk(v)
+	pte, lvl, ok := reader.ReadPTE(steps[n-1].PTEAddr)
+	if !ok || lvl != 1 || !pte.Leaf {
+		t.Errorf("multi reader failed: %+v %d %v", pte, lvl, ok)
+	}
+	if _, _, ok := reader.ReadPTE(0xFFFF_FF000); ok {
+		t.Error("unknown frame should not resolve")
+	}
+}
+
+func TestNewEnginePanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(nil, nil)
+}
+
+// End-to-end through a real controller: the tagged leaf read triggers
+// a prefetch whose later replay row-hits.
+func TestEngineWithControllerEndToEnd(t *testing.T) {
+	as := newSpace(t, vm.Mode4KOnly)
+	v := mem.VAddr(0x1234_5000 + 7*64)
+	tr, _, err := as.Touch(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Stats{}
+	ctrl := dram.NewController(dram.DefaultConfig(), sched.NewTempoFRFCFS(), st)
+	ctrl.Observer = NewEngine(as.Table(), st)
+	var filled []mem.PAddr
+	ctrl.OnPrefetchDone = func(r *dram.Request) { filled = append(filled, r.Addr) }
+
+	pt := leafRequestFor(t, as, v)
+	pt.Category = stats.DRAMPTW
+	ctrl.Submit(pt)
+	ctrl.RunUntil(pt)
+	ctrl.Drain()
+	want := tr.Translate(v).Line()
+	if len(filled) != 1 || filled[0] != want {
+		t.Fatalf("prefetch fills = %#v, want [%#x]", filled, uint64(want))
+	}
+	replay := &dram.Request{Addr: tr.Translate(v), Category: stats.DRAMReplay, Enqueue: pt.Complete + 120}
+	ctrl.Submit(replay)
+	ctrl.RunUntil(replay)
+	if replay.Outcome != stats.RowHit {
+		t.Errorf("replay outcome = %v, want row-hit via TEMPO", replay.Outcome)
+	}
+}
+
+func TestEngine1GBSuperpageTarget(t *testing.T) {
+	cfg := vm.DefaultOSConfig(2 << 18) // 2GB physical
+	cfg.Mode = vm.ModeHugetlbfs1G
+	cfg.ReserveFraction = 0.6
+	as, err := vm.NewAddressSpace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mem.VAddr(0x4000_0000 + 0x1234_5680)
+	tr, _, err := as.Touch(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Class != mem.Page1G {
+		t.Fatalf("class = %v", tr.Class)
+	}
+	e := NewEngine(as.Table(), &stats.Stats{})
+	pf := e.OnLeafPTServed(leafRequestFor(t, as, v), 0)
+	if pf == nil {
+		t.Fatal("no prefetch for a 1GB leaf (L3 PTE)")
+	}
+	if want := tr.Translate(v).Line(); pf.Addr != want {
+		t.Errorf("1GB prefetch addr = %#x, want %#x", uint64(pf.Addr), uint64(want))
+	}
+}
+
+func TestEngineCountsEveryTrigger(t *testing.T) {
+	as := newSpace(t, vm.Mode4KOnly)
+	st := &stats.Stats{}
+	e := NewEngine(as.Table(), st)
+	for i := 0; i < 5; i++ {
+		v := mem.VAddr(0x1000_0000 + uint64(i)*mem.PageSize)
+		if _, _, err := as.Touch(v); err != nil {
+			t.Fatal(err)
+		}
+		if pf := e.OnLeafPTServed(leafRequestFor(t, as, v), uint64(i)); pf == nil {
+			t.Fatalf("prefetch %d missing", i)
+		}
+	}
+	if st.TempoTriggers != 5 || st.TempoPrefetches != 5 {
+		t.Errorf("triggers=%d prefetches=%d", st.TempoTriggers, st.TempoPrefetches)
+	}
+}

@@ -1,0 +1,277 @@
+package dram
+
+import (
+	"math"
+
+	"repro/internal/assoc"
+	"repro/internal/stats"
+)
+
+// openPredictor implements the prediction-cache-based adaptive row
+// policy of Awasthi et al. [17]: a 2048-set 4-way cache keyed by
+// (bank, row) predicting how long the row should stay open after its
+// last access. Rows that suffer conflicts have their windows shrunk;
+// rows that are re-opened shortly after an early close have them grown.
+type openPredictor struct {
+	cache *assoc.Assoc[uint64]
+	init  uint64
+	min   uint64
+	max   uint64
+}
+
+func newOpenPredictor() *openPredictor {
+	return &openPredictor{
+		cache: assoc.New[uint64](2048, 4),
+		init:  200,
+		min:   25,
+		max:   3200,
+	}
+}
+
+func (p *openPredictor) window(key uint64) uint64 {
+	if w, ok := p.cache.Peek(key); ok {
+		return w
+	}
+	return p.init
+}
+
+// conflicted: the row was still open when another row was wanted —
+// we kept it open too long.
+func (p *openPredictor) conflicted(key uint64) {
+	w := p.window(key) / 2
+	if w < p.min {
+		w = p.min
+	}
+	p.cache.Insert(key, w)
+}
+
+// reopened: the same row was wanted again after the window expired —
+// we closed too early.
+func (p *openPredictor) reopened(key uint64) {
+	w := p.window(key) * 2
+	if w > p.max {
+		w = p.max
+	}
+	p.cache.Insert(key, w)
+}
+
+// subRow is one (sub-)row buffer: it holds a RowBytes/SubRows segment
+// of one row. With SubRows == 1 it is the classic whole-row buffer.
+type subRow struct {
+	valid bool
+	row   uint64
+	seg   int
+	// lastTouch is the completion cycle of the most recent access;
+	// the policy window runs from here.
+	lastTouch uint64
+	// pinnedUntil keeps the row open regardless of policy until the
+	// given cycle (TEMPO's PT-row wait and BLISS grace periods).
+	pinnedUntil uint64
+	lru         uint64
+}
+
+// Bank models one DRAM bank: timing state plus its (sub-)row buffers.
+type Bank struct {
+	geo    Geometry
+	timing Timing
+	policy RowPolicy
+	pred   *openPredictor // non-nil only for PolicyAdaptive
+	id     int            // global bank id, part of predictor keys
+
+	readyAt uint64
+	tick    uint64
+	subs    []subRow
+}
+
+// NewBank builds a bank with the geometry's sub-row organisation.
+func NewBank(id int, geo Geometry, timing Timing, policy RowPolicy) *Bank {
+	n := geo.SubRows
+	if n < 1 {
+		n = 1
+	}
+	b := &Bank{geo: geo, timing: timing, policy: policy, id: id, subs: make([]subRow, n)}
+	if policy == PolicyAdaptive {
+		b.pred = newOpenPredictor()
+	}
+	return b
+}
+
+func (b *Bank) predKey(row uint64) uint64 {
+	return uint64(b.id)<<40 ^ row
+}
+
+// isOpen reports whether sub-row s still holds live contents at cycle
+// now under the bank's policy.
+func (b *Bank) isOpen(s *subRow, now uint64) bool {
+	if !s.valid {
+		return false
+	}
+	if now <= s.pinnedUntil {
+		return true
+	}
+	if b.policy == PolicyClosed {
+		// Auto-precharge at completion: the row is never observably
+		// open past an unpinned access.
+		return false
+	}
+	if now < s.lastTouch {
+		// Queried before the latching access completes: the row will
+		// be open the moment it can next be observed.
+		return true
+	}
+	var window uint64
+	switch b.policy {
+	case PolicyOpen:
+		window = math.MaxUint64 - s.lastTouch // effectively forever
+	case PolicyClosed:
+		window = 0
+	case PolicyAdaptive:
+		window = b.pred.window(b.predKey(s.row))
+	}
+	return now-s.lastTouch <= window
+}
+
+// WouldHit reports whether an access to (row, seg) at cycle now would
+// be a row-buffer hit, without changing state.
+func (b *Bank) WouldHit(row uint64, seg int, now uint64) bool {
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.row == row && s.seg == seg && b.isOpen(s, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadyAt returns the earliest cycle the bank can issue a new access.
+func (b *Bank) ReadyAt() uint64 { return b.readyAt }
+
+// Peek computes the outcome and service latency an access to
+// (row, seg) would see if issued at the given cycle, without mutating
+// any state. The controller uses it to place the data burst on the
+// channel bus before committing the access.
+func (b *Bank) Peek(row uint64, seg int, issue uint64) (stats.RowOutcome, uint64) {
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.row == row && s.seg == seg && b.isOpen(s, issue) {
+			return stats.RowHit, b.timing.HitLatency()
+		}
+	}
+	victim := b.chooseVictim(nil)
+	if b.isOpen(&b.subs[victim], issue) {
+		return stats.RowConflict, b.timing.ConflictLatency()
+	}
+	return stats.RowMiss, b.timing.MissLatency()
+}
+
+// Access performs one access to (row, seg) issued at cycle issue (the
+// caller guarantees issue >= ReadyAt()). allowed is the set of sub-row
+// indices this request may allocate on a fill (nil means all). It
+// returns the row-buffer outcome and the completion cycle, and updates
+// bank state, the adaptive predictor and the ACT/PRE counters in st.
+func (b *Bank) Access(row uint64, seg int, issue uint64, allowed []int, st *stats.Stats) (stats.RowOutcome, uint64) {
+	b.tick++
+	// Serving sub-row already holding the segment?
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.row == row && s.seg == seg && b.isOpen(s, issue) {
+			lat := b.timing.HitLatency()
+			s.lastTouch = issue + lat
+			s.lru = b.tick
+			b.readyAt = issue + lat
+			return stats.RowHit, issue + lat
+		}
+	}
+	// Choose a victim sub-row among the allowed set (LRU).
+	victim := b.chooseVictim(allowed)
+	s := &b.subs[victim]
+	outcome := stats.RowMiss
+	if b.isOpen(s, issue) {
+		outcome = stats.RowConflict
+		if b.pred != nil {
+			b.pred.conflicted(b.predKey(s.row))
+		}
+		st.PreCount++
+	} else if s.valid {
+		// The victim was closed by the policy in the background; its
+		// precharge happened off the critical path.
+		st.PreCount++
+		if s.row == row && s.seg == seg && b.pred != nil {
+			// Same row wanted again after an early close: grow window.
+			b.pred.reopened(b.predKey(row))
+		}
+	}
+	var lat uint64
+	if outcome == stats.RowConflict {
+		lat = b.timing.ConflictLatency()
+	} else {
+		lat = b.timing.MissLatency()
+	}
+	st.ActCount++
+	done := issue + lat
+	*s = subRow{valid: true, row: row, seg: seg, lastTouch: done, lru: b.tick}
+	b.readyAt = done
+	return outcome, done
+}
+
+// Refresh models an all-bank auto-refresh starting at the given cycle:
+// every (sub-)row buffer is precharged — pins notwithstanding, the
+// cells must be refreshed — and the bank is busy for trfc cycles.
+func (b *Bank) Refresh(start, trfc uint64, st *stats.Stats) {
+	for i := range b.subs {
+		if b.subs[i].valid {
+			st.PreCount++
+		}
+		b.subs[i] = subRow{}
+	}
+	if end := start + trfc; end > b.readyAt {
+		b.readyAt = end
+	}
+}
+
+// Pin keeps the sub-row holding (row, seg) open until the given cycle.
+// It only acts while the contents are still live: either the latching
+// access completed at or after now, or an earlier pin is still in
+// force. TEMPO uses this to override the row policy for the PT-row
+// wait window and for the BLISS grace period after a prefetch — the
+// controller decides at completion time to defer the precharge.
+func (b *Bank) Pin(row uint64, seg int, now, until uint64) {
+	for i := range b.subs {
+		s := &b.subs[i]
+		if s.valid && s.row == row && s.seg == seg &&
+			(now <= s.lastTouch || now <= s.pinnedUntil || b.isOpen(s, now)) {
+			if until > s.pinnedUntil {
+				s.pinnedUntil = until
+			}
+			return
+		}
+	}
+}
+
+func (b *Bank) chooseVictim(allowed []int) int {
+	if len(allowed) == 0 {
+		best := 0
+		for i := range b.subs {
+			if !b.subs[i].valid {
+				return i
+			}
+			if b.subs[i].lru < b.subs[best].lru {
+				best = i
+			}
+		}
+		return best
+	}
+	best := allowed[0]
+	for _, i := range allowed {
+		if i < 0 || i >= len(b.subs) {
+			continue
+		}
+		if !b.subs[i].valid {
+			return i
+		}
+		if b.subs[i].lru < b.subs[best].lru {
+			best = i
+		}
+	}
+	return best
+}

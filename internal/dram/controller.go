@@ -1,0 +1,356 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// SubRowAlloc decides which sub-row buffers a request may allocate
+// into when it must latch a new segment (Section 4.4's FOA/POA).
+type SubRowAlloc interface {
+	// Allowed returns the permitted sub-row indices for r, given the
+	// bank has nSub sub-rows of which the first prefetchSub are
+	// dedicated to TEMPO prefetches. An empty result means "any".
+	Allowed(r *Request, nSub, prefetchSub int) []int
+	// OnServed lets the policy observe traffic (POA re-partitions by
+	// bandwidth; FOA by interference).
+	OnServed(r *Request, outcome stats.RowOutcome)
+}
+
+// Config assembles a memory controller.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+	Policy   RowPolicy
+	// PTRowWait is how many cycles TEMPO keeps a row holding
+	// page-table contents open (and delays the triggered prefetch)
+	// anticipating nearby PT accesses — 10 in the paper (Figure 15).
+	PTRowWait uint64
+}
+
+// DefaultConfig returns the baseline controller configuration used for
+// the paper's main results: FR-FCFS is wired by the caller; adaptive
+// row policy; 10-cycle PT-row wait.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:  DefaultGeometry(),
+		Timing:    DefaultTiming(),
+		Policy:    PolicyAdaptive,
+		PTRowWait: 10,
+	}
+}
+
+// Controller is the memory controller: per-channel transaction queues
+// served by a pluggable scheduler over banks with (sub-)row buffers.
+// With an Observer attached it implements TEMPO: tagged leaf-PT reads
+// trigger post-translation prefetches that land in the row buffer and
+// (via OnPrefetchDone) the LLC.
+type Controller struct {
+	cfg   Config
+	banks [][]*Bank // [channel][bank]
+	busAt []uint64  // per-channel data-bus availability
+	queue []*Request
+	sched Scheduler
+	st    *stats.Stats
+
+	// Observer is TEMPO's engine (nil disables TEMPO).
+	Observer PTObserver
+	// OnPrefetchDone is invoked when a TEMPO prefetch completes; the
+	// simulator uses it to schedule the LLC fill.
+	OnPrefetchDone func(r *Request)
+	// SubAlloc optionally partitions sub-row buffers (FOA/POA).
+	SubAlloc SubRowAlloc
+
+	served uint64
+	// frontier is the latest issue time seen — the controller's
+	// notion of "now" for scheduler aging and grace periods.
+	frontier uint64
+	// nextRefresh is the per-channel next auto-refresh deadline.
+	nextRefresh []uint64
+	// acts is a per-channel ring of the last four ACT issue times,
+	// enforcing the tFAW constraint; actPos counts ACTs issued.
+	acts   [][4]uint64
+	actPos []int
+}
+
+// NewController builds a controller. The scheduler is mandatory; stats
+// must be the memory-system-wide sink.
+func NewController(cfg Config, sched Scheduler, st *stats.Stats) *Controller {
+	if sched == nil || st == nil {
+		panic("dram: controller needs a scheduler and stats")
+	}
+	g := cfg.Geometry
+	if g.Channels <= 0 || g.BanksPerCh <= 0 || g.RowBytes == 0 {
+		panic(fmt.Sprintf("dram: invalid geometry %+v", g))
+	}
+	c := &Controller{cfg: cfg, sched: sched, st: st,
+		busAt:       make([]uint64, g.Channels),
+		nextRefresh: make([]uint64, g.Channels),
+		acts:        make([][4]uint64, g.Channels),
+		actPos:      make([]int, g.Channels)}
+	if cfg.Timing.TRFC > 0 {
+		for ch := range c.nextRefresh {
+			c.nextRefresh[ch] = cfg.Timing.TREFI
+		}
+	}
+	id := 0
+	for ch := 0; ch < g.Channels; ch++ {
+		row := make([]*Bank, g.BanksPerCh)
+		for b := range row {
+			row[b] = NewBank(id, g, cfg.Timing, cfg.Policy)
+			id++
+		}
+		c.banks = append(c.banks, row)
+	}
+	return c
+}
+
+// QueueLen returns the number of pending transactions.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Served returns the number of completed transactions.
+func (c *Controller) Served() uint64 { return c.served }
+
+// Submit enqueues a transaction.
+func (c *Controller) Submit(r *Request) {
+	if r.Done {
+		panic("dram: resubmitting a completed request")
+	}
+	c.queue = append(c.queue, r)
+}
+
+// WouldRowHit implements RowPeeker for schedulers.
+func (c *Controller) WouldRowHit(addr mem.PAddr) bool {
+	loc := c.cfg.Geometry.Decode(addr)
+	bank := c.banks[loc.Channel][loc.Bank]
+	return bank.WouldHit(loc.Row, loc.Segment(c.cfg.Geometry), bank.ReadyAt())
+}
+
+// ServeOne executes one scheduler-chosen transaction and returns it.
+// The queue must be non-empty. Multi-core simulators drive the
+// controller with it when every core is blocked on memory.
+func (c *Controller) ServeOne() *Request {
+	if len(c.queue) == 0 {
+		panic("dram: ServeOne on empty queue")
+	}
+	return c.executeOne()
+}
+
+// executeOne serves the scheduler's chosen request and returns it.
+// The queue must be non-empty.
+func (c *Controller) executeOne() *Request {
+	idx := c.sched.Pick(c.queue, c.clock(), c)
+	r := c.queue[idx]
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+
+	g := c.cfg.Geometry
+	loc := g.Decode(r.Addr)
+	c.refreshChannel(loc.Channel, r.Enqueue)
+	bank := c.banks[loc.Channel][loc.Bank]
+	issue := r.Enqueue
+	if ba := bank.ReadyAt(); ba > issue {
+		issue = ba
+	}
+	// Banks on a channel work in parallel; only the data burst
+	// serialises on the bus. Push the issue time just enough that the
+	// burst window [complete-TBurst, complete] starts after the bus
+	// frees.
+	for tries := 0; tries < 4; tries++ {
+		_, lat := bank.Peek(loc.Row, loc.Segment(g), issue)
+		burstStart := issue + lat - c.cfg.Timing.TBurst
+		bus := c.busAt[loc.Channel]
+		if burstStart >= bus {
+			break
+		}
+		issue += bus - burstStart
+	}
+	// tFAW: a fifth activate within the window of the last four waits
+	// it out.
+	if t := c.cfg.Timing; t.TFAW > 0 && c.actPos[loc.Channel] >= 4 {
+		if out, _ := bank.Peek(loc.Row, loc.Segment(g), issue); out != stats.RowHit {
+			fourBack := c.acts[loc.Channel][c.actPos[loc.Channel]%4]
+			if earliest := fourBack + t.TFAW; issue < earliest {
+				issue = earliest
+			}
+		}
+	}
+	allowed := c.allowedSubRows(r)
+	outcome, complete := bank.Access(loc.Row, loc.Segment(g), issue, allowed, c.st)
+	if outcome != stats.RowHit && c.cfg.Timing.TFAW > 0 {
+		c.acts[loc.Channel][c.actPos[loc.Channel]%4] = issue
+		c.actPos[loc.Channel]++
+	}
+	c.busAt[loc.Channel] = complete // bus busy until the burst ends
+	if issue > c.frontier {
+		c.frontier = issue
+	}
+	r.Done, r.Issue, r.Complete, r.Outcome = true, issue, complete, outcome
+	c.served++
+
+	c.st.AddDRAMRef(r.Category, outcome)
+	c.st.AddDRAMLatency(r.Category, complete-r.Enqueue)
+	c.st.DRAMBusyCycles += complete - issue
+	if r.Write {
+		c.st.WrCount++
+	} else {
+		c.st.RdCount++
+	}
+	if r.IsLeafPT {
+		c.st.DRAMPTWLeaf++
+		c.onLeafPT(r, loc, bank)
+	}
+	if r.Prefetch {
+		// The prefetched row stays latched for the replay: pin it
+		// briefly so an adaptive/closed policy cannot close it before
+		// the replay can possibly arrive.
+		bank.Pin(loc.Row, loc.Segment(g), complete, complete+c.cfg.PTRowWait+180)
+		if c.OnPrefetchDone != nil {
+			c.OnPrefetchDone(r)
+		}
+	}
+	c.sched.OnServed(r, complete)
+	if c.SubAlloc != nil {
+		c.SubAlloc.OnServed(r, outcome)
+	}
+	return r
+}
+
+// onLeafPT runs TEMPO's PT? detector path: keep the PT row open for
+// the configured wait, and ask the observer for the prefetch to queue.
+func (c *Controller) onLeafPT(r *Request, loc Location, bank *Bank) {
+	bank.Pin(loc.Row, loc.Segment(c.cfg.Geometry), r.Complete, r.Complete+c.cfg.PTRowWait)
+	if c.Observer == nil {
+		return
+	}
+	pf := c.Observer.OnLeafPTServed(r, r.Complete)
+	if pf == nil {
+		return
+	}
+	pf.Prefetch = true
+	pf.PairedWith = r
+	pf.Category = stats.DRAMPrefetch
+	if pf.Enqueue < r.Complete+c.cfg.PTRowWait {
+		pf.Enqueue = r.Complete + c.cfg.PTRowWait
+	}
+	c.Submit(pf)
+}
+
+func (c *Controller) allowedSubRows(r *Request) []int {
+	g := c.cfg.Geometry
+	if g.SubRows <= 1 {
+		return nil
+	}
+	if c.SubAlloc != nil {
+		return c.SubAlloc.Allowed(r, g.SubRows, g.PrefetchSubRows)
+	}
+	if g.PrefetchSubRows <= 0 || g.PrefetchSubRows >= g.SubRows {
+		return nil
+	}
+	if r.Prefetch {
+		return seq(0, g.PrefetchSubRows)
+	}
+	return seq(g.PrefetchSubRows, g.SubRows)
+}
+
+// RunUntil executes queued transactions, in scheduler order, until r
+// completes, and returns its completion cycle. r must be queued.
+func (c *Controller) RunUntil(r *Request) uint64 {
+	for !r.Done {
+		if len(c.queue) == 0 {
+			panic("dram: RunUntil target not in queue")
+		}
+		c.executeOne()
+	}
+	return r.Complete
+}
+
+// DrainUpTo executes every queued transaction that is schedulable at
+// or before cycle t (prefetches and writebacks progress while the core
+// computes). Later-enqueued transactions stay queued.
+func (c *Controller) DrainUpTo(t uint64) {
+	for {
+		any := false
+		for _, r := range c.queue {
+			if r.Enqueue <= t {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return
+		}
+		// Let the scheduler pick among the eligible subset.
+		eligible := c.queue[:0:0]
+		for _, r := range c.queue {
+			if r.Enqueue <= t {
+				eligible = append(eligible, r)
+			}
+		}
+		idx := c.sched.Pick(eligible, c.clock(), c)
+		c.executeSpecific(eligible[idx])
+	}
+}
+
+// executeSpecific serves exactly target (the scheduler has already
+// chosen it from a filtered view), applying the same timing and hooks
+// as executeOne.
+func (c *Controller) executeSpecific(target *Request) {
+	for i, r := range c.queue {
+		if r == target {
+			saved := c.sched
+			c.sched = pinned{idx: i, inner: saved}
+			c.executeOne()
+			c.sched = saved
+			return
+		}
+	}
+	panic("dram: executeSpecific target not queued")
+}
+
+// pinned is a one-shot scheduler that picks a fixed index but still
+// forwards completion events to the real scheduler.
+type pinned struct {
+	idx   int
+	inner Scheduler
+}
+
+func (p pinned) Pick(q []*Request, _ uint64, _ RowPeeker) int { return p.idx }
+func (p pinned) OnServed(r *Request, now uint64)              { p.inner.OnServed(r, now) }
+
+// Drain executes everything in the queue (end of simulation).
+func (c *Controller) Drain() {
+	for len(c.queue) > 0 {
+		c.executeOne()
+	}
+}
+
+// clock is the controller's notion of "now" for scheduler decisions:
+// the latest issue time it has committed (monotonic).
+func (c *Controller) clock() uint64 { return c.frontier }
+
+// refreshChannel applies any auto-refreshes due at or before `now` on
+// the channel: all banks precharge and stall for TRFC.
+func (c *Controller) refreshChannel(ch int, now uint64) {
+	t := c.cfg.Timing
+	if t.TRFC == 0 {
+		return
+	}
+	for c.nextRefresh[ch] <= now {
+		start := c.nextRefresh[ch]
+		for _, b := range c.banks[ch] {
+			b.Refresh(start, t.TRFC, c.st)
+		}
+		c.st.RefCount++
+		c.nextRefresh[ch] += t.TREFI
+	}
+}
+
+func seq(lo, hi int) []int {
+	s := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s = append(s, i)
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+// Package dram models the off-chip memory system TEMPO lives in:
+// channels and banks with row buffers (optionally split into sub-row
+// buffers), open/closed/adaptive row-management policies, DDR-class
+// timing, a transaction queue driven by a pluggable scheduler, and a
+// per-operation energy account.
+//
+// The controller is where the paper's hardware sits: it detects tagged
+// leaf page-table reads, consults a PTObserver (the TEMPO engine in
+// internal/core), and enqueues the post-translation prefetch the
+// observer constructs.
+package dram
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Request is one memory-controller transaction.
+type Request struct {
+	Addr     mem.PAddr
+	Write    bool
+	Category stats.DRAMCategory
+	CoreID   int
+
+	// IsLeafPT marks a page-table-walker read of a leaf PTE; the
+	// walker also appends ReplayLine, the 6-bit index of the cache
+	// line the replay will touch within the translated page
+	// (LineIndexBits of extra payload — TEMPO's Tx-queue split-entry
+	// trick stores it until the PTE arrives).
+	IsLeafPT   bool
+	ReplayLine uint64
+
+	// Prefetch marks a TEMPO post-translation prefetch. PTCoreID
+	// keeps the triggering core for scheduler accounting.
+	Prefetch bool
+	// PairedWith links a prefetch to the leaf-PT request that
+	// triggered it, so TEMPO-aware schedulers can bond them.
+	PairedWith *Request
+
+	// Enqueue is the cycle the request becomes schedulable.
+	Enqueue uint64
+
+	// Results, filled by the controller when the request is served.
+	Done     bool
+	Issue    uint64
+	Complete uint64
+	Outcome  stats.RowOutcome
+}
+
+// RowPeeker lets schedulers ask about row-buffer state without
+// mutating it.
+type RowPeeker interface {
+	// WouldRowHit reports whether a request to addr would currently
+	// hit an open row (or sub-row) buffer.
+	WouldRowHit(addr mem.PAddr) bool
+}
+
+// Scheduler picks the next transaction to issue. Implementations live
+// in internal/sched (FR-FCFS and BLISS, each with TEMPO-aware
+// extensions).
+type Scheduler interface {
+	// Pick returns the index into q of the request to issue next.
+	// q is never empty. now is the controller clock.
+	Pick(q []*Request, now uint64, rows RowPeeker) int
+	// OnServed is called after the chosen request completes, with
+	// its outcome, letting schedulers maintain history (BLISS
+	// blacklists, grace periods).
+	OnServed(r *Request, now uint64)
+}
+
+// FCFS is the trivial in-order scheduler, useful as a baseline and in
+// tests.
+type FCFS struct{}
+
+// Pick returns the oldest request.
+func (FCFS) Pick(q []*Request, _ uint64, _ RowPeeker) int {
+	best := 0
+	for i, r := range q {
+		if r.Enqueue < q[best].Enqueue {
+			best = i
+		}
+	}
+	return best
+}
+
+// OnServed implements Scheduler.
+func (FCFS) OnServed(*Request, uint64) {}
+
+// PTObserver is TEMPO's hook into the controller: it sees every tagged
+// leaf-PT read as it completes and may return a prefetch request to
+// enqueue (or nil, e.g. for unallocated translations).
+type PTObserver interface {
+	OnLeafPTServed(r *Request, completion uint64) *Request
+}

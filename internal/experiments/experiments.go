@@ -1,0 +1,283 @@
+// Package experiments regenerates every data figure of the paper's
+// evaluation (Figures 1, 4, 10–17). Each figure is a named runner that
+// executes the required simulations at a chosen scale and reports the
+// same series the paper plots. cmd/tempo-bench drives the full set;
+// the repository benchmarks drive quick-scale versions.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scale sizes a figure run. Quick keeps everything in seconds for
+// benchmarks and CI; Full approaches the paper's regime (footprints
+// far beyond TLB reach and LLC, longer traces, more/larger mixes).
+type Scale struct {
+	Name string
+	// Records per core for single-application figures.
+	Records int
+	// Footprint per big workload.
+	Footprint uint64
+	// Big is the big-data workload list (defaults to all eight).
+	Big []string
+	// Small is the control workload list.
+	Small []string
+	// HomoCores is the number of homogeneous cores used for the
+	// scheduler/row-policy figures (14, 15).
+	HomoCores int
+	// Mixes / MixCores / MixRecords / MixFootprint size the
+	// multiprogrammed studies (Figures 16, 17).
+	Mixes        int
+	MixCores     int
+	MixRecords   int
+	MixFootprint uint64
+}
+
+// QuickScale is small enough for go test -bench.
+func QuickScale() Scale {
+	return Scale{
+		Name:         "quick",
+		Records:      12_000,
+		Footprint:    512 << 20,
+		Big:          workload.Big(),
+		Small:        workload.Small(),
+		HomoCores:    2,
+		Mixes:        2,
+		MixCores:     4,
+		MixRecords:   4_000,
+		MixFootprint: 192 << 20,
+	}
+}
+
+// FullScale is the regime EXPERIMENTS.md reports.
+func FullScale() Scale {
+	return Scale{
+		Name:         "full",
+		Records:      200_000,
+		Footprint:    2 << 30,
+		Big:          workload.Big(),
+		Small:        workload.Small(),
+		HomoCores:    4,
+		Mixes:        4,
+		MixCores:     8,
+		MixRecords:   25_000,
+		MixFootprint: 512 << 20,
+	}
+}
+
+// Row is one labelled series entry of a report.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Report is a regenerated figure: labelled rows under named columns.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	width := 14
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, row.Label)
+		for i := range r.Columns {
+			if i < len(row.Values) {
+				fmt.Fprintf(&b, "%14.4f", row.Values[i])
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values with a header row,
+// ready for plotting tools.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range r.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(row.Label)
+		for i := range r.Columns {
+			b.WriteByte(',')
+			if i < len(row.Values) {
+				fmt.Fprintf(&b, "%g", row.Values[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Value returns the named column of the labelled row.
+func (r *Report) Value(label, column string) (float64, bool) {
+	col := -1
+	for i, c := range r.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == label && col < len(row.Values) {
+			return row.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is one regenerable paper figure.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*Report, error)
+}
+
+// All returns every figure in paper order.
+func All() []Figure {
+	return []Figure{
+		{"fig01", "Fraction of runtime in DRAM page-table walks, replays, and other DRAM accesses", (*Runner).Fig01},
+		{"fig04", "Fraction of DRAM references by category (leaf-PT share of PTW traffic)", (*Runner).Fig04},
+		{"fig10", "TEMPO performance and energy improvement; 2MB superpage footprint fraction", (*Runner).Fig10},
+		{"fig11", "Replay service point under TEMPO; big-data vs small-footprint workloads", (*Runner).Fig11},
+		{"fig12", "TEMPO with and without the IMP indirect prefetcher", (*Runner).Fig12},
+		{"fig13", "TEMPO improvement vs superpage coverage (THP, memhog, hugetlbfs, 1GB)", (*Runner).Fig13},
+		{"fig14", "TEMPO under adaptive, open, and closed row policies", (*Runner).Fig14},
+		{"fig15", "PT-row wait-cycle sweep", (*Runner).Fig15},
+		{"fig16", "BLISS: prefetch counter weight and grace period sweeps", (*Runner).Fig16},
+		{"fig17", "Sub-row buffers (FOA/POA): sub-rows dedicated to prefetches", (*Runner).Fig17},
+	}
+}
+
+// ByID finds a figure or ablation by id.
+func ByID(id string) (Figure, bool) {
+	for _, f := range append(All(), Extras()...) {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// Runner executes figures at one scale, memoising simulation results
+// (runs are deterministic, so reuse across figures is sound).
+type Runner struct {
+	Scale Scale
+	// Log, when set, receives progress lines.
+	Log   func(format string, args ...any)
+	cache map[string]*sim.Result
+}
+
+// NewRunner builds a runner.
+func NewRunner(s Scale) *Runner {
+	return &Runner{Scale: s, cache: make(map[string]*sim.Result)}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+	}
+}
+
+// run executes (or recalls) one simulation. The key must uniquely
+// describe cfg among this runner's uses.
+func (r *Runner) run(key string, cfg sim.Config) (*sim.Result, error) {
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	r.logf("running %s", key)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// singleCfg is the standard single-core configuration for a big
+// workload at this scale.
+func (r *Runner) singleCfg(wl string) sim.Config {
+	cfg := sim.DefaultConfig(wl)
+	cfg.Records = r.Scale.Records
+	cfg.Workloads[0].Footprint = r.Scale.Footprint
+	return cfg
+}
+
+// smallCfg is the single-core configuration for a control workload.
+func (r *Runner) smallCfg(wl string) sim.Config {
+	cfg := sim.DefaultConfig(wl)
+	cfg.Records = r.Scale.Records
+	return cfg
+}
+
+// homoCfg replicates one workload across HomoCores cores (different
+// seeds) sharing one address space, LLC and memory — a multithreaded
+// application, the setting for the scheduler and row-policy figures.
+func (r *Runner) homoCfg(wl string) sim.Config {
+	cfg := sim.DefaultConfig(wl)
+	cfg.Records = r.Scale.Records / r.Scale.HomoCores
+	cfg.Workloads = nil
+	for i := 0; i < r.Scale.HomoCores; i++ {
+		cfg.Workloads = append(cfg.Workloads, sim.WorkloadSpec{
+			Name: wl, Footprint: r.Scale.Footprint, Seed: int64(i + 1),
+		})
+	}
+	// Homogeneous cores model the threads of one multithreaded
+	// application: one address space, one page table.
+	cfg.SharedAddressSpace = true
+	return cfg
+}
+
+// mixSpecs builds the multiprogrammed mixes: each mix draws MixCores
+// applications across a range of memory intensities, as in the BLISS
+// methodology.
+func (r *Runner) mixSpecs(mix int) []sim.WorkloadSpec {
+	rng := rand.New(rand.NewSource(int64(1000 + mix)))
+	pool := append(append([]string{}, r.Scale.Big...), r.Scale.Small...)
+	sort.Strings(pool)
+	var specs []sim.WorkloadSpec
+	for c := 0; c < r.Scale.MixCores; c++ {
+		name := pool[rng.Intn(len(pool))]
+		fp := r.Scale.MixFootprint
+		if strings.HasSuffix(name, ".small") {
+			fp = 0 // workload default
+		}
+		specs = append(specs, sim.WorkloadSpec{Name: name, Footprint: fp, Seed: int64(mix*100 + c + 1)})
+	}
+	return specs
+}

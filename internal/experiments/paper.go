@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PaperPoint is one quantitative comparison between the paper and this
+// reproduction: a named metric, the band the paper reports, and an
+// extractor that summarises the regenerated figure.
+type PaperPoint struct {
+	Figure string
+	Metric string
+	// PaperLo/PaperHi bound the paper's reported range (as fractions
+	// where applicable).
+	PaperLo, PaperHi float64
+	// Note explains scale substitutions affecting the comparison.
+	Note string
+	// Extract computes the measured value from the figure's report.
+	Extract func(rep *Report) float64
+}
+
+// aggregates over non-MEAN rows of one column.
+func colStats(rep *Report, col string) (min, max, mean float64) {
+	var sum float64
+	n := 0
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, row := range rep.Rows {
+		if strings.HasPrefix(row.Label, "MEAN") {
+			continue
+		}
+		v, ok := rep.Value(row.Label, col)
+		if !ok {
+			continue
+		}
+		sum += v
+		n++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return min, max, sum / float64(n)
+}
+
+func colMin(col string) func(*Report) float64 {
+	return func(rep *Report) float64 { lo, _, _ := colStats(rep, col); return lo }
+}
+
+func colMax(col string) func(*Report) float64 {
+	return func(rep *Report) float64 { _, hi, _ := colStats(rep, col); return hi }
+}
+
+func colMean(col string) func(*Report) float64 {
+	return func(rep *Report) float64 { _, _, m := colStats(rep, col); return m }
+}
+
+// PaperPoints returns the paper-vs-measured comparison table, one
+// entry per headline number in the paper's text and figures.
+func PaperPoints() []PaperPoint {
+	return []PaperPoint{
+		{
+			Figure: "fig01", Metric: "runtime in DRAM replays (max workload)",
+			PaperLo: 0.10, PaperHi: 0.30,
+			Extract: colMax("DRAM-Replay"),
+		},
+		{
+			Figure: "fig04", Metric: "DRAM refs that are PTW (max workload)",
+			PaperLo: 0.20, PaperHi: 0.40,
+			Note:    "scaled footprints reach the band's lower edge",
+			Extract: colMax("DRAM-PTW"),
+		},
+		{
+			Figure: "fig04", Metric: "leaf share of DRAM PTW refs (min)",
+			PaperLo: 0.96, PaperHi: 1.0,
+			Extract: colMin("leaf-share"),
+		},
+		{
+			Figure: "fig04", Metric: "DRAM walks followed by DRAM replays (min)",
+			PaperLo: 0.98, PaperHi: 1.0,
+			Extract: colMin("replay-follows"),
+		},
+		{
+			Figure: "fig10", Metric: "TEMPO performance improvement (range)",
+			PaperLo: 0.10, PaperHi: 0.30,
+			Note:    "a single-socket-scaled substrate lands below the paper's 32-core testbed",
+			Extract: colMean("perf"),
+		},
+		{
+			Figure: "fig10", Metric: "TEMPO energy improvement (range)",
+			PaperLo: 0.01, PaperHi: 0.14,
+			Extract: colMean("energy"),
+		},
+		{
+			Figure: "fig10", Metric: "THP superpage coverage (min)",
+			PaperLo: 0.50, PaperHi: 1.0,
+			Extract: colMin("superpage"),
+		},
+		{
+			Figure: "fig11", Metric: "replays served from the LLC (min big-data)",
+			PaperLo: 0.75, PaperHi: 1.0,
+			Extract: func(rep *Report) float64 {
+				lo := math.Inf(1)
+				for _, row := range rep.Rows {
+					if strings.HasPrefix(row.Label, "MEAN") || strings.HasSuffix(row.Label, ".small") {
+						continue
+					}
+					if v, ok := rep.Value(row.Label, "LLC"); ok && v < lo {
+						lo = v
+					}
+				}
+				return lo
+			},
+		},
+		{
+			Figure: "fig11", Metric: "small-workload performance change (mean)",
+			PaperLo: 0.00, PaperHi: 0.02,
+			Extract: func(rep *Report) float64 {
+				v, _ := rep.Value("MEAN(small)", "perf")
+				return v
+			},
+		},
+		{
+			Figure: "fig12", Metric: "TEMPO improvement on top of IMP (max)",
+			PaperLo: 0.10, PaperHi: 0.40,
+			Note:    "the paper reports up to 40% for TEMPO+IMP systems",
+			Extract: colMax("perf+IMP"),
+		},
+		{
+			Figure: "fig13", Metric: "TEMPO improvement when superpages are scarce (max)",
+			PaperLo: 0.25, PaperHi: 0.35,
+			Note:    "paper: 'benefits consistently exceeding 25%' with scarce superpages",
+			Extract: colMax("perf"),
+		},
+		{
+			Figure: "fig14", Metric: "TEMPO under closed-row policy (max)",
+			PaperLo: 0.25, PaperHi: 0.30,
+			Note:    "paper: xsbench's worst (closed-row) case still gains 25%",
+			Extract: colMax("closed"),
+		},
+		{
+			Figure: "fig15", Metric: "PT-row wait effect (max spread across waits)",
+			PaperLo: 0.01, PaperHi: 0.04,
+			Note: "a second-order effect in both the paper and here",
+			Extract: func(rep *Report) float64 {
+				worst := 0.0
+				for _, row := range rep.Rows {
+					lo, hi := math.Inf(1), math.Inf(-1)
+					for _, v := range row.Values {
+						lo = math.Min(lo, v)
+						hi = math.Max(hi, v)
+					}
+					worst = math.Max(worst, hi-lo)
+				}
+				return worst
+			},
+		},
+		{
+			Figure: "fig16", Metric: "BLISS weighted-speedup gain at half weight",
+			PaperLo: 0.0, PaperHi: 0.20,
+			Note: "paper: consistently positive; slowest app 10%+ faster",
+			Extract: func(rep *Report) float64 {
+				v, _ := rep.Value("weight=1", "wspeedup")
+				return v
+			},
+		},
+		{
+			Figure: "fig17", Metric: "sub-row weighted-speedup gain (2 dedicated)",
+			PaperLo: 0.10, PaperHi: 0.20,
+			Note: "paper: ~15% weighted-speedup boost at 2 of 8 sub-rows",
+			Extract: func(rep *Report) float64 {
+				f, _ := rep.Value("FOA/dedicated=2", "wspeedup")
+				p, _ := rep.Value("POA/dedicated=2", "wspeedup")
+				return (f + p) / 2
+			},
+		},
+	}
+}
+
+// ComparePaper evaluates every comparison point, regenerating figures
+// through the runner's cache as needed.
+func ComparePaper(r *Runner) (string, error) {
+	reports := map[string]*Report{}
+	var b strings.Builder
+	b.WriteString("| Figure | Metric | Paper | Measured | In band |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, p := range PaperPoints() {
+		rep, ok := reports[p.Figure]
+		if !ok {
+			fig, found := ByID(p.Figure)
+			if !found {
+				return "", fmt.Errorf("experiments: comparison references unknown figure %s", p.Figure)
+			}
+			var err error
+			rep, err = fig.Run(r)
+			if err != nil {
+				return "", err
+			}
+			reports[p.Figure] = rep
+		}
+		v := p.Extract(rep)
+		in := "yes"
+		if v < p.PaperLo || v > p.PaperHi {
+			in = "NO"
+		}
+		metric := p.Metric
+		if p.Note != "" {
+			metric += " †" // noted below the table by the caller
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.2f–%.2f | %.3f | %s |\n",
+			p.Figure, metric, p.PaperLo, p.PaperHi, v, in)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,59 @@
+// Package metrics computes the evaluation metrics the paper reports:
+// runtime/energy improvements for single-application runs and
+// weighted speedup / maximum slowdown for multiprogrammed mixes
+// (Figures 16 and 17, following the BLISS papers' methodology).
+package metrics
+
+import "fmt"
+
+// Improvement returns the fractional reduction achieved by new versus
+// base (e.g. cycles): positive means new is better. Matches the
+// paper's "fraction of baseline execution" y-axes, where 0 means no
+// change.
+func Improvement(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - new) / base
+}
+
+// Speedup returns base/new.
+func Speedup(base, new float64) float64 {
+	if new == 0 {
+		return 0
+	}
+	return base / new
+}
+
+// WeightedSpeedup is Σ_i IPC_shared[i]/IPC_alone[i].
+func WeightedSpeedup(alone, shared []float64) (float64, error) {
+	if len(alone) != len(shared) {
+		return 0, fmt.Errorf("metrics: %d alone vs %d shared IPCs", len(alone), len(shared))
+	}
+	var ws float64
+	for i := range alone {
+		if alone[i] == 0 {
+			return 0, fmt.Errorf("metrics: application %d has zero alone-IPC", i)
+		}
+		ws += shared[i] / alone[i]
+	}
+	return ws, nil
+}
+
+// MaxSlowdown is max_i IPC_alone[i]/IPC_shared[i] — the paper's
+// fairness metric (lower is fairer).
+func MaxSlowdown(alone, shared []float64) (float64, error) {
+	if len(alone) != len(shared) {
+		return 0, fmt.Errorf("metrics: %d alone vs %d shared IPCs", len(alone), len(shared))
+	}
+	var worst float64
+	for i := range alone {
+		if shared[i] == 0 {
+			return 0, fmt.Errorf("metrics: application %d has zero shared-IPC", i)
+		}
+		if s := alone[i] / shared[i]; s > worst {
+			worst = s
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestImprovementAndSpeedup(t *testing.T) {
+	if !close(Improvement(100, 80), 0.2) {
+		t.Error("Improvement(100,80)")
+	}
+	if !close(Improvement(100, 120), -0.2) {
+		t.Error("regression should be negative")
+	}
+	if Improvement(0, 5) != 0 {
+		t.Error("zero base guarded")
+	}
+	if !close(Speedup(100, 50), 2) {
+		t.Error("Speedup")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Error("zero new guarded")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{0.5, 1})
+	if err != nil || !close(ws, 1.0) {
+		t.Errorf("ws = %v, %v", ws, err)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := WeightedSpeedup([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero alone IPC should error")
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	ms, err := MaxSlowdown([]float64{1, 2}, []float64{0.5, 1.9})
+	if err != nil || !close(ms, 2.0) {
+		t.Errorf("ms = %v, %v", ms, err)
+	}
+	if _, err := MaxSlowdown([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero shared IPC should error")
+	}
+	if _, err := MaxSlowdown([]float64{1, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

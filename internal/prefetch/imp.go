@@ -1,0 +1,252 @@
+// Package prefetch implements IMP, the Indirect Memory Prefetcher of
+// Yu et al. (MICRO 2015), which the paper evaluates TEMPO alongside
+// (Section 4.2, Figure 12). IMP detects streaming *index* loads
+// (B[i]), learns indirect patterns of the form addr = base + coef ×
+// B[i] in an Indirect Pattern Detector, and then prefetches A[B[i+Δ]]
+// using index values that arrive ahead of use.
+//
+// The trace-driven embedding: workload generators attach the loaded
+// value to index loads (hardware IMP snoops the same value off the
+// fill path), and the core feeds records to IMP a configurable
+// distance ahead of execution, which models the lead the real
+// prefetcher gets from prefetching the index stream itself.
+package prefetch
+
+import (
+	"repro/internal/mem"
+)
+
+// Candidate coefficients IMP tries (element sizes of the indirectly
+// indexed array).
+var coefs = []uint64{1, 2, 4, 8, 16}
+
+// Config mirrors the paper's IMP configuration: 16-entry prefetch
+// table, 4-entry indirect pattern detector, up to 2 indirect ways,
+// prefetch distance 16.
+type Config struct {
+	TableEntries int
+	IPDEntries   int
+	MaxWays      int
+	Distance     int
+}
+
+// DefaultConfig returns the configuration used in the paper.
+func DefaultConfig() Config {
+	return Config{TableEntries: 16, IPDEntries: 4, MaxWays: 2, Distance: 16}
+}
+
+// pattern is one confirmed indirect relation for an index PC.
+type pattern struct {
+	coef uint64
+	base uint64
+}
+
+// ptEntry is a prefetch-table entry: a confirmed index stream with its
+// indirect ways.
+type ptEntry struct {
+	pc   uint64
+	ways []pattern
+	lru  uint64
+}
+
+// Observation is one trace event IMP sees.
+type Observation struct {
+	PC    uint64
+	VAddr mem.VAddr
+	// Value and HasValue carry the loaded data for index loads.
+	Value    uint64
+	HasValue bool
+	// Missed reports whether the access missed the L1 (IMP trains its
+	// indirect detector on misses).
+	Missed bool
+}
+
+// IMP is the prefetcher state.
+type IMP struct {
+	cfg   Config
+	table []ptEntry
+	ipd   []ipdTrain
+	tick  uint64
+
+	// Prefetches counts emitted prefetch addresses.
+	Prefetches uint64
+}
+
+// ipdTrain is one Indirect Pattern Detector entry in training.
+type ipdTrain struct {
+	pc        uint64
+	lastValue uint64
+	haveValue bool
+	// hypotheses[i] is the base implied by the first pair under
+	// coefs[i]; verified[i] counts subsequent confirmations.
+	hypotheses [5]uint64
+	seeded     bool
+	verified   [5]uint8
+	lru        uint64
+}
+
+// New builds an IMP prefetcher.
+func New(cfg Config) *IMP {
+	return &IMP{cfg: cfg}
+}
+
+// Observe feeds one event to the prefetcher and returns the virtual
+// addresses it wants prefetched (empty most of the time). The caller
+// performs the prefetches (translating them — which is where IMP's
+// extra page-table walks come from). Observe is Train plus
+// PrefetchFor; the simulator calls the two halves separately so that
+// training follows the executed stream while prefetches are issued
+// from lookahead values (the lead the real IMP gets by prefetching
+// the index stream itself).
+func (p *IMP) Observe(o Observation) []mem.VAddr {
+	var out []mem.VAddr
+	if o.HasValue {
+		out = p.PrefetchFor(o.PC, o.Value)
+	}
+	p.Train(o)
+	return out
+}
+
+// PrefetchFor returns the prefetch targets confirmed patterns imply
+// for an index load at pc observing value.
+func (p *IMP) PrefetchFor(pc, value uint64) []mem.VAddr {
+	p.tick++
+	var out []mem.VAddr
+	if e := p.lookupTable(pc); e != nil {
+		e.lru = p.tick
+		for _, w := range e.ways {
+			target := mem.VAddr(w.base + w.coef*value)
+			out = append(out, target.Line())
+			p.Prefetches++
+		}
+	}
+	return out
+}
+
+// Train updates detector state from one executed event without
+// emitting prefetches.
+func (p *IMP) Train(o Observation) {
+	p.tick++
+	if o.HasValue {
+		t := p.lookupIPD(o.PC)
+		if t == nil {
+			t = p.allocIPD(o.PC)
+		}
+		t.lastValue = o.Value
+		t.haveValue = true
+		t.lru = p.tick
+		return
+	}
+	if o.Missed {
+		p.observeMiss(o)
+	}
+}
+
+// observeMiss pairs a miss address with pending index values to learn
+// (coef, base) hypotheses.
+func (p *IMP) observeMiss(o Observation) {
+	for i := range p.ipd {
+		t := &p.ipd[i]
+		if !t.haveValue {
+			continue
+		}
+		addr := uint64(o.VAddr)
+		if !t.seeded {
+			for ci, c := range coefs {
+				t.hypotheses[ci] = addr - c*t.lastValue
+			}
+			t.seeded = true
+			t.haveValue = false
+			continue
+		}
+		for ci, c := range coefs {
+			if t.hypotheses[ci]+c*t.lastValue == addr {
+				t.verified[ci]++
+				if t.verified[ci] >= 2 {
+					p.confirm(t.pc, pattern{coef: c, base: t.hypotheses[ci]})
+					// Reset training so a second indirect way off the
+					// same index stream can be learned.
+					t.seeded = false
+					t.verified = [5]uint8{}
+				}
+			}
+		}
+		t.haveValue = false
+	}
+}
+
+// confirm installs a learned pattern into the prefetch table.
+func (p *IMP) confirm(pc uint64, pat pattern) {
+	e := p.lookupTable(pc)
+	if e == nil {
+		e = p.allocTable(pc)
+	}
+	e.lru = p.tick
+	for _, w := range e.ways {
+		if w == pat {
+			return
+		}
+	}
+	if len(e.ways) < p.cfg.MaxWays {
+		e.ways = append(e.ways, pat)
+	} else {
+		// Replace the oldest way.
+		copy(e.ways, e.ways[1:])
+		e.ways[len(e.ways)-1] = pat
+	}
+}
+
+func (p *IMP) lookupTable(pc uint64) *ptEntry {
+	for i := range p.table {
+		if p.table[i].pc == pc {
+			return &p.table[i]
+		}
+	}
+	return nil
+}
+
+func (p *IMP) allocTable(pc uint64) *ptEntry {
+	if len(p.table) < p.cfg.TableEntries {
+		p.table = append(p.table, ptEntry{pc: pc})
+		return &p.table[len(p.table)-1]
+	}
+	victim := 0
+	for i := range p.table {
+		if p.table[i].lru < p.table[victim].lru {
+			victim = i
+		}
+	}
+	p.table[victim] = ptEntry{pc: pc}
+	return &p.table[victim]
+}
+
+func (p *IMP) lookupIPD(pc uint64) *ipdTrain {
+	for i := range p.ipd {
+		if p.ipd[i].pc == pc {
+			return &p.ipd[i]
+		}
+	}
+	return nil
+}
+
+func (p *IMP) allocIPD(pc uint64) *ipdTrain {
+	if len(p.ipd) < p.cfg.IPDEntries {
+		p.ipd = append(p.ipd, ipdTrain{pc: pc})
+		return &p.ipd[len(p.ipd)-1]
+	}
+	victim := 0
+	for i := range p.ipd {
+		if p.ipd[i].lru < p.ipd[victim].lru {
+			victim = i
+		}
+	}
+	p.ipd[victim] = ipdTrain{pc: pc}
+	return &p.ipd[victim]
+}
+
+// Confirmed reports whether a pattern is installed for the PC (tests
+// and stats).
+func (p *IMP) Confirmed(pc uint64) bool {
+	e := p.lookupTable(pc)
+	return e != nil && len(e.ways) > 0
+}

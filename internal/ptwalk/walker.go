@@ -1,0 +1,124 @@
+// Package ptwalk models the hardware page-table walker. On a TLB miss
+// it walks the x86-64 radix table, consulting the MMU (page-walk)
+// caches to skip upper levels, and issues cacheable memory references
+// for the PTEs it must read. TEMPO's walker-side change lives here:
+// the reference for the *leaf* PTE is tagged, and the cache-line index
+// the replay will use inside the translated page is appended to the
+// request (Section 4.1).
+package ptwalk
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+// MemPort is the walker's path into the memory hierarchy. The
+// implementation (the simulator's memory system) performs a cacheable
+// read of the PTE line and returns its latency and whether the line
+// had to come from DRAM.
+type MemPort interface {
+	// ReadPTE reads the PTE at paddr starting at cycle `at`. For the
+	// leaf reference, isLeaf is set and replayLine carries the
+	// line-in-page bits TEMPO appends (the memory controller uses
+	// them only if the read reaches DRAM).
+	ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (latency uint64, fromDRAM bool)
+}
+
+// ReplayLineBits is how many line-index bits the walker appends. 6
+// bits suffice for 4KB pages (the paper's figure); we carry enough for
+// a 1GB page so superpage leaves work identically.
+const ReplayLineBits = 24
+
+// ReplayLineOf extracts the bits the walker appends for v: the index
+// of v's cache line within its (up to 1GB) page-aligned region.
+func ReplayLineOf(v mem.VAddr) uint64 {
+	return (uint64(v) >> mem.LineShift) & (1<<ReplayLineBits - 1)
+}
+
+// Result summarises one hardware walk.
+type Result struct {
+	Translation vm.Translation
+	// OK is false if the walk hit a non-present entry (page fault).
+	OK bool
+	// Latency is the full serialised walk latency in cycles.
+	Latency uint64
+	// LeafFromDRAM reports whether the leaf PTE was read from DRAM —
+	// TEMPO's trigger condition.
+	LeafFromDRAM bool
+	// DRAMRefs counts walk references served by DRAM.
+	DRAMRefs int
+	// Refs counts memory references issued (post MMU-cache skip).
+	Refs int
+}
+
+// Walker is one core's page-table walker.
+type Walker struct {
+	mmu   *tlb.MMUCache
+	table *vm.PageTable
+	st    *stats.Stats
+
+	// StepOverhead is the fixed per-reference walker latency added on
+	// top of the memory system's (pointer chase, address formation).
+	StepOverhead uint64
+}
+
+// New builds a walker over a page table with its own MMU caches.
+func New(table *vm.PageTable, mmu *tlb.MMUCache, st *stats.Stats) *Walker {
+	return &Walker{mmu: mmu, table: table, st: st, StepOverhead: 2}
+}
+
+// Walk translates v starting at cycle `at`, issuing PTE reads through
+// port. It updates MMU caches and the walk counters in stats.
+func (w *Walker) Walk(v mem.VAddr, at uint64, port MemPort) Result {
+	w.st.WalksStarted++
+	steps, n, ok := w.table.Walk(v)
+
+	// MMU-cache skip: resume below the deepest cached level.
+	startLevel := mem.Levels
+	if lvl, _, hit := w.mmu.Lookup(v); hit {
+		w.st.MMUCacheHits++
+		startLevel = lvl - 1
+	} else {
+		w.st.MMUCacheMisses++
+	}
+
+	res := Result{OK: ok}
+	replayLine := ReplayLineOf(v)
+	for i := 0; i < n; i++ {
+		step := steps[i]
+		if step.Level > startLevel {
+			continue
+		}
+		res.Refs++
+		lat, fromDRAM := port.ReadPTE(step.PTEAddr, step.Level, step.IsLeaf, replayLine, at+res.Latency)
+		res.Latency += lat + w.StepOverhead
+		if fromDRAM {
+			res.DRAMRefs++
+			if step.IsLeaf {
+				res.LeafFromDRAM = true
+			}
+		}
+		// Cache the non-leaf entry we just read (levels 4..2 point at
+		// the next table page).
+		if !step.IsLeaf && step.Level >= 2 {
+			if pte, _, found := w.table.ReadPTE(step.PTEAddr); found && pte.Present && !pte.Leaf {
+				w.mmu.Insert(v, step.Level, pte.Frame)
+			}
+		}
+	}
+	if !ok {
+		return res
+	}
+	tr, found := w.table.Lookup(v)
+	if !found {
+		res.OK = false
+		return res
+	}
+	res.Translation = tr
+	if res.LeafFromDRAM {
+		w.st.WalkDRAMTouched++
+	}
+	return res
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestWorkloadCharacterization pins each big-data workload's
+// translation behaviour at a reference scale into the bands the
+// Figure 1/4 reproduction depends on. If a workload generator change
+// moves its TLB miss rate or DRAM-PTW share out of band, the figures
+// drift — this test catches that before the benchmarks do.
+func TestWorkloadCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every big workload")
+	}
+	bands := map[string]struct {
+		tlbMissLo, tlbMissHi float64
+		ptwFracLo, ptwFracHi float64
+	}{
+		// TLB miss rate per reference; DRAM-PTW share of demand DRAM
+		// references. Reference scale: 512MB footprint, 30k records.
+		"mcf":       {0.15, 0.45, 0.06, 0.22},
+		"canneal":   {0.10, 0.45, 0.06, 0.22},
+		"lsh":       {0.15, 0.50, 0.08, 0.26},
+		"spmv":      {0.08, 0.30, 0.03, 0.16},
+		"sgms":      {0.08, 0.30, 0.03, 0.16},
+		"graph500":  {0.10, 0.40, 0.05, 0.20},
+		"xsbench":   {0.15, 0.45, 0.07, 0.24},
+		"illustris": {0.08, 0.35, 0.04, 0.18},
+	}
+	for wl, band := range bands {
+		cfg := DefaultConfig(wl)
+		cfg.Records = 30_000
+		cfg.Workloads[0].Footprint = 512 << 20
+		res := run(t, cfg)
+		st := &res.Total
+		if m := st.TLBMissRate(); m < band.tlbMissLo || m > band.tlbMissHi {
+			t.Errorf("%s: TLB miss rate %.3f outside [%.2f, %.2f]",
+				wl, m, band.tlbMissLo, band.tlbMissHi)
+		}
+		if f := st.DRAMRefFraction(stats.DRAMPTW); f < band.ptwFracLo || f > band.ptwFracHi {
+			t.Errorf("%s: DRAM-PTW fraction %.3f outside [%.2f, %.2f]",
+				wl, f, band.ptwFracLo, band.ptwFracHi)
+		}
+		// The structural invariants behind TEMPO must hold for every
+		// big workload at any scale.
+		if lf := st.LeafPTWFraction(); lf < 0.96 {
+			t.Errorf("%s: leaf share %.3f < 0.96", wl, lf)
+		}
+		if rf := st.ReplayAfterPTWFraction(); rf < 0.95 {
+			t.Errorf("%s: replay-follows %.3f < 0.95", wl, rf)
+		}
+	}
+}

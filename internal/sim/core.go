@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/ptwalk"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// msgKind is what a core reports when it yields to the coordinator.
+type msgKind uint8
+
+const (
+	// msgStep: the core finished one trace record and can take more.
+	msgStep msgKind = iota
+	// msgWait: the core submitted the attached DRAM request and is
+	// blocked until it completes.
+	msgWait
+	// msgDone: the core consumed its whole trace.
+	msgDone
+)
+
+type coreMsg struct {
+	kind msgKind
+	req  *dram.Request
+}
+
+// Core replays one trace stream through private TLBs, walker, L1/L2
+// and the shared LLC + DRAM. It runs as a coroutine under the system
+// coordinator: strictly one core executes at a time, handing off via
+// channels, so runs are deterministic.
+type Core struct {
+	id     int
+	sys    *System
+	as     *vm.AddressSpace
+	tlb    *tlb.TLB
+	walker *ptwalk.Walker
+	hier   *cache.Hierarchy
+	imp    *prefetch.IMP
+	stream trace.Stream
+	st     *stats.Stats
+
+	// lookahead models IMP's index-stream lead: record n+Distance is
+	// visible to the prefetcher while record n executes.
+	lookahead []trace.Record
+
+	now     uint64
+	records int
+
+	toCoord chan coreMsg
+	resume  chan struct{}
+	err     error
+}
+
+// run is the core goroutine body.
+func (c *Core) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("core %d: %v", c.id, r)
+			c.toCoord <- coreMsg{kind: msgDone}
+		}
+	}()
+	for i := 0; i < c.records; i++ {
+		rec, ok := c.nextRecord()
+		if !ok {
+			break
+		}
+		<-c.resume
+		c.step(rec)
+		c.toCoord <- coreMsg{kind: msgStep}
+	}
+	<-c.resume
+	c.toCoord <- coreMsg{kind: msgDone}
+}
+
+// nextRecord pulls the next record, maintaining the IMP lookahead.
+func (c *Core) nextRecord() (trace.Record, bool) {
+	if c.imp == nil {
+		return c.stream.Next()
+	}
+	want := prefetch.DefaultConfig().Distance + 1
+	for len(c.lookahead) < want {
+		rec, ok := c.stream.Next()
+		if !ok {
+			break
+		}
+		c.lookahead = append(c.lookahead, rec)
+	}
+	if len(c.lookahead) == 0 {
+		return trace.Record{}, false
+	}
+	rec := c.lookahead[0]
+	c.lookahead = c.lookahead[1:]
+	return rec, true
+}
+
+// step executes one trace record to completion (blocking core model;
+// page walks serialise, demand misses stall).
+func (c *Core) step(rec trace.Record) {
+	m := &c.sys.machine
+	c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+	c.st.Instructions += uint64(rec.Gap) + 1
+	c.st.MemRefs++
+
+	// Demand paging: ensure the page is resident. Fault cost is
+	// excluded (traces model a warmed system; DESIGN.md).
+	if _, _, err := c.as.Touch(rec.VAddr); err != nil {
+		panic(fmt.Sprintf("touch %#x: %v", uint64(rec.VAddr), err))
+	}
+
+	// IMP: issue prefetches from the lookahead edge.
+	if c.imp != nil {
+		c.impIssue()
+	}
+
+	tr, lvl := c.tlb.Lookup(rec.VAddr)
+	walked, leafDRAM := false, false
+	switch lvl {
+	case tlb.HitL1:
+		c.st.TLBHits++
+	case tlb.HitL2:
+		c.st.TLBHits++
+		c.now += m.L2TLBPenalty
+	case tlb.Miss:
+		c.st.TLBMisses++
+		res := c.walker.Walk(rec.VAddr, c.now, demandPort{c})
+		if !res.OK {
+			panic(fmt.Sprintf("walk failed for touched address %#x", uint64(rec.VAddr)))
+		}
+		c.now += res.Latency
+		tr = res.Translation
+		c.tlb.Insert(tr)
+		walked, leafDRAM = true, res.LeafFromDRAM
+		// TLB fill + pipeline replay before the memory reference is
+		// re-executed: TEMPO's slack window.
+		c.now += m.ReplayRestart
+	}
+
+	p := tr.Translate(rec.VAddr)
+	write := rec.Kind == trace.Store
+	if walked {
+		// Give queued TEMPO prefetches their chance to run inside the
+		// slack window before the replay probes the LLC.
+		c.sys.ctrl.DrainUpTo(c.now)
+	}
+	// Prefetched lines are usable if filled by the time the lookup
+	// reaches the LLC.
+	c.sys.mem.ApplyFills(c.now + m.Caches.LLC.LatencyC)
+	ar := c.hier.Access(p, write)
+
+	var outcome stats.RowOutcome
+	servedDRAM := ar.Served == cache.ServedDRAM
+	if servedDRAM {
+		cat := stats.DRAMOther
+		if walked {
+			cat = stats.DRAMReplay
+		}
+		req := &dram.Request{
+			Addr: p.Line(), Category: cat, CoreID: c.id,
+			Enqueue: c.now + ar.Latency + m.Interconnect,
+		}
+		c.submitAndWait(req)
+		doneAt := req.Complete + m.Interconnect
+		dramPortion := doneAt - (c.now + ar.Latency)
+		if walked {
+			// Post-walk replays serialise: charge the full DRAM time.
+			c.st.ReplayDRAMCycles += dramPortion
+			c.now = doneAt
+		} else {
+			// Independent misses partially overlap with the
+			// out-of-order window.
+			charged := uint64(float64(dramPortion) * m.OtherOverlap)
+			c.st.OtherDRAMCycles += charged
+			c.now += ar.Latency + charged
+		}
+		c.submitWritebacks(c.hier.FillFromDRAM(p, write))
+		outcome = req.Outcome
+	} else {
+		c.now += ar.Latency
+	}
+	c.submitWritebacks(ar.Writebacks)
+
+	// Prefetch usefulness.
+	if ar.Served == cache.ServedLLC {
+		switch ar.Provenance {
+		case cache.FillTempo:
+			c.st.TempoUseful++
+		case cache.FillIMP:
+			c.st.IMPUseful++
+		}
+	}
+
+	// Replay service classification (Figure 11) for walks whose leaf
+	// PTE came from DRAM — TEMPO's target population.
+	if walked && leafDRAM {
+		switch {
+		case !servedDRAM:
+			c.st.ReplayServiced[stats.ReplayLLC]++
+			if ar.Served == cache.ServedLLC && ar.Provenance == cache.FillTempo {
+				// Without TEMPO this replay would have gone to DRAM.
+				c.st.WalkDRAMThenReplayDRAM++
+			}
+		case outcome == stats.RowHit:
+			c.st.ReplayServiced[stats.ReplayRowBuffer]++
+			c.st.WalkDRAMThenReplayDRAM++
+		default:
+			c.st.ReplayServiced[stats.ReplayDRAMArray]++
+			c.st.WalkDRAMThenReplayDRAM++
+		}
+	}
+
+	// IMP training follows the executed stream.
+	if c.imp != nil {
+		c.imp.Train(prefetch.Observation{
+			PC: rec.PC, VAddr: rec.VAddr,
+			Value: rec.Value, HasValue: rec.HasValue,
+			Missed: servedDRAM,
+		})
+	}
+}
+
+// submitWritebacks turns dirty LLC victims into fire-and-forget DRAM
+// write transactions. They drain whenever the controller runs; a
+// queue-depth guard keeps a long store-heavy cache-hit streak from
+// accumulating unbounded writes.
+func (c *Core) submitWritebacks(addrs []mem.PAddr) {
+	for _, a := range addrs {
+		c.sys.ctrl.Submit(&dram.Request{
+			Addr: a.Line(), Write: true,
+			Category: stats.DRAMWriteback, CoreID: c.id,
+			Enqueue: c.now,
+		})
+	}
+	if c.sys.ctrl.QueueLen() > 128 {
+		c.sys.ctrl.DrainUpTo(c.now)
+	}
+}
+
+// submitAndWait queues a demand request and parks the core until the
+// coordinator reports completion.
+func (c *Core) submitAndWait(req *dram.Request) {
+	c.sys.ctrl.Submit(req)
+	c.toCoord <- coreMsg{kind: msgWait, req: req}
+	<-c.resume
+	if !req.Done {
+		panic("core resumed before its request completed")
+	}
+}
+
+// demandPort is the walker's memory path for demand walks: PT reads go
+// through the cache hierarchy and, on misses, stall the core through
+// the coordinator. DRAM time is attributed to the PTW bucket.
+type demandPort struct{ c *Core }
+
+func (p demandPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (uint64, bool) {
+	c := p.c
+	m := &c.sys.machine
+	c.sys.mem.ApplyFills(at)
+	ar := c.hier.Access(paddr, false)
+	if ar.Served != cache.ServedDRAM {
+		return ar.Latency, false
+	}
+	req := &dram.Request{
+		Addr: paddr, Category: stats.DRAMPTW, CoreID: c.id,
+		IsLeafPT: isLeaf, ReplayLine: replayLine,
+		Enqueue: at + ar.Latency + m.Interconnect,
+	}
+	c.submitAndWait(req)
+	doneAt := req.Complete + m.Interconnect
+	c.submitWritebacks(c.hier.FillFromDRAM(paddr, false))
+	c.st.PTWDRAMCycles += doneAt - (at + ar.Latency)
+	return doneAt - at, true
+}
+
+// backgroundPort serves IMP-initiated walks: same datapath and DRAM
+// traffic, but the core does not stall (the walk runs in the
+// prefetcher's shadow) and no runtime is attributed.
+type backgroundPort struct{ c *Core }
+
+func (p backgroundPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (uint64, bool) {
+	c := p.c
+	m := &c.sys.machine
+	c.sys.mem.ApplyFills(at)
+	ar := c.hier.Access(paddr, false)
+	if ar.Served != cache.ServedDRAM {
+		return ar.Latency, false
+	}
+	req := &dram.Request{
+		Addr: paddr, Category: stats.DRAMPTW, CoreID: c.id,
+		IsLeafPT: isLeaf, ReplayLine: replayLine,
+		Enqueue: at + ar.Latency + m.Interconnect,
+	}
+	c.sys.ctrl.Submit(req)
+	c.sys.ctrl.RunUntil(req)
+	c.submitWritebacks(c.hier.FillFromDRAM(paddr, false))
+	return req.Complete + m.Interconnect - at, true
+}
+
+// impIssue lets IMP see the newest lookahead record and performs any
+// prefetches it requests: translate (dropping unmapped targets, the
+// hardware behaviour on a would-be fault), walking on TLB misses in
+// the background, then fetching the line toward the LLC.
+func (c *Core) impIssue() {
+	if len(c.lookahead) == 0 {
+		return
+	}
+	edge := c.lookahead[len(c.lookahead)-1]
+	if !edge.HasValue {
+		return
+	}
+	m := &c.sys.machine
+	for _, target := range c.imp.PrefetchFor(edge.PC, edge.Value) {
+		if _, ok := c.as.Table().Lookup(target); !ok {
+			continue // would fault; hardware drops it
+		}
+		tr, lvl := c.tlb.Lookup(target)
+		if lvl == tlb.Miss {
+			res := c.walker.Walk(target, c.now, backgroundPort{c})
+			if !res.OK {
+				continue
+			}
+			c.tlb.Insert(res.Translation)
+			tr = res.Translation
+		}
+		p := tr.Translate(target).Line()
+		c.sys.mem.ApplyFills(c.now)
+		if c.hier.PeekLLC(p) {
+			continue
+		}
+		req := &dram.Request{
+			Addr: p, Category: stats.DRAMPrefetch, CoreID: c.id,
+			Enqueue: c.now + m.Interconnect,
+		}
+		c.sys.ctrl.Submit(req)
+		c.sys.ctrl.RunUntil(req)
+		c.sys.mem.AddPending(p, req.Complete+m.LLCFillExtra, cache.FillIMP)
+		c.st.IMPPrefetches++
+	}
+}

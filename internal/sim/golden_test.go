@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestGoldenRun pins the exact counters of one small TEMPO run. It is
+// a change detector: any edit that alters simulated behaviour — even
+// through incidental iteration-order or timing changes — must show up
+// here and be acknowledged by updating the constants. Pure refactors
+// must not move them.
+func TestGoldenRun(t *testing.T) {
+	cfg := DefaultConfig("xsbench")
+	cfg.Records = 5_000
+	cfg.Workloads[0].Footprint = 128 << 20
+	cfg.Tempo = DefaultTempo()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &res.Total
+	golden := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"Cycles", st.Cycles, 765180},
+		{"Instructions", st.Instructions, 16879},
+		{"TLBMisses", st.TLBMisses, 1277},
+		{"WalksStarted", st.WalksStarted, 1277},
+		{"WalkDRAMTouched", st.WalkDRAMTouched, 923},
+		{"ReplayDRAMRefs", st.DRAMRefs[stats.DRAMReplay], 442},
+		{"TempoPrefetches", st.TempoPrefetches, 923},
+		{"TempoLLCFills", st.TempoLLCFills, 835},
+		{"ActCount", st.ActCount, 3560},
+		{"RefCount", st.RefCount, 60},
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("%s = %d, want %d (behavioural change — verify and update)", g.name, g.got, g.want)
+		}
+	}
+}

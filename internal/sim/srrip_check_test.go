@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// TestLLCReplacePlumbing proves Machine.Caches.LLC.Replace reaches the
+// shared LLC: SRRIP's behavioural fingerprint is that a line filled
+// with prefetch provenance (distant RRPV) is the first victim.
+func TestLLCReplacePlumbing(t *testing.T) {
+	cfg := DefaultConfig("gcc.small")
+	cfg.Records = 10
+	cfg.Machine.Caches.LLC.Replace = cache.ReplaceSRRIP
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := s.mem.llc
+	stride := llc.Sets() * mem.LineSize
+	for i := 0; i < 15; i++ {
+		llc.Fill(mem.PAddr(i*stride), cache.FillDemand, false)
+	}
+	pf := mem.PAddr(15 * stride)
+	llc.Fill(pf, cache.FillTempo, false) // inserted at distant RRPV
+	v, evicted := llc.Fill(mem.PAddr(16*stride), cache.FillDemand, false)
+	if !evicted || v.Addr != pf {
+		t.Errorf("victim = %+v, want the distant prefetched line — SRRIP not plumbed", v)
+	}
+	// And the LRU default victimises the oldest instead.
+	cfg.Machine.Caches.LLC.Replace = cache.ReplaceLRU
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc2 := s2.mem.llc
+	for i := 0; i < 15; i++ {
+		llc2.Fill(mem.PAddr(i*stride), cache.FillDemand, false)
+	}
+	llc2.Fill(pf, cache.FillTempo, false)
+	v, evicted = llc2.Fill(mem.PAddr(16*stride), cache.FillDemand, false)
+	if !evicted || v.Addr != 0 {
+		t.Errorf("LRU victim = %+v, want the oldest line", v)
+	}
+}

@@ -1,0 +1,213 @@
+// Package trace defines the memory-trace record the simulator
+// executes and a compact binary on-disk format (delta + varint
+// encoded), standing in for the paper's Pin-collected traces. The
+// simulator usually consumes live generator streams; the format exists
+// so traces can be captured once and replayed exactly (cmd/tempo-trace).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Kind is the access type.
+type Kind uint8
+
+const (
+	// Load is a data read.
+	Load Kind = iota
+	// Store is a data write.
+	Store
+)
+
+// Record is one memory reference plus the non-memory instruction gap
+// preceding it.
+type Record struct {
+	// PC identifies the static instruction (IMP indexes on it).
+	PC uint64
+	// VAddr is the virtual address referenced.
+	VAddr mem.VAddr
+	// Kind distinguishes loads from stores.
+	Kind Kind
+	// Gap counts non-memory instructions executed before this access.
+	Gap uint16
+	// Value is the loaded data for index-array loads (HasValue set);
+	// IMP snoops it to learn indirect patterns.
+	Value    uint64
+	HasValue bool
+}
+
+// Stream produces records. Streams may be infinite; callers take as
+// many records as the run needs.
+type Stream interface {
+	// Next returns the next record. ok is false when the stream is
+	// exhausted (file traces); generators never exhaust.
+	Next() (Record, bool)
+}
+
+// magic identifies the file format; the trailing byte is the version.
+var magic = [8]byte{'T', 'E', 'M', 'P', 'O', 'T', 'R', 1}
+
+// Writer encodes records to an io.Writer.
+type Writer struct {
+	w    *bufio.Writer
+	prev Record
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	var buf [binary.MaxVarintLen64 * 4]byte
+	flags := byte(r.Kind) & 1
+	if r.HasValue {
+		flags |= 2
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(buf[:], zigzag(int64(r.PC)-int64(w.prev.PC)))
+	n += binary.PutUvarint(buf[n:], zigzag(int64(r.VAddr)-int64(w.prev.VAddr)))
+	n += binary.PutUvarint(buf[n:], uint64(r.Gap))
+	if r.HasValue {
+		n += binary.PutUvarint(buf[n:], r.Value)
+	}
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	w.prev = r
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace file. It implements Stream.
+type Reader struct {
+	r    *bufio.Reader
+	prev Record
+	err  error
+}
+
+// ErrBadMagic marks a non-trace or wrong-version file.
+var ErrBadMagic = errors.New("trace: bad magic or version")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Stream.
+func (r *Reader) Next() (Record, bool) {
+	if r.err != nil {
+		return Record{}, false
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		r.err = err
+		return Record{}, false
+	}
+	rec := Record{Kind: Kind(flags & 1), HasValue: flags&2 != 0}
+	pcD, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = noEOF(err)
+		return Record{}, false
+	}
+	vaD, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = noEOF(err)
+		return Record{}, false
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = noEOF(err)
+		return Record{}, false
+	}
+	rec.PC = uint64(int64(r.prev.PC) + unzigzag(pcD))
+	rec.VAddr = mem.VAddr(int64(r.prev.VAddr) + unzigzag(vaD))
+	rec.Gap = uint16(gap)
+	if rec.HasValue {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			r.err = noEOF(err)
+			return Record{}, false
+		}
+		rec.Value = v
+	}
+	r.prev = rec
+	return rec, true
+}
+
+// noEOF upgrades an EOF in the middle of a record to a real error:
+// only an EOF at a record boundary is a clean end of trace.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Err returns the terminal error, if any (io.EOF is normal end).
+func (r *Reader) Err() error {
+	if r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}
+
+// Take drains up to n records from a stream into a slice.
+func Take(s Stream, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		rec, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// SliceStream replays a fixed record slice (tests, captured traces).
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream wraps records in a Stream.
+func NewSliceStream(recs []Record) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}

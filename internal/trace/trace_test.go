@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	recs := []Record{
+		{PC: 0x400000, VAddr: 0x7FFF_0000_1000, Kind: Load, Gap: 3},
+		{PC: 0x400004, VAddr: 0x7FFF_0000_1040, Kind: Store, Gap: 0},
+		{PC: 0x400008, VAddr: 0x1234, Kind: Load, Gap: 65535, Value: 42, HasValue: true},
+		{PC: 0x400000, VAddr: 0x7FFF_FFFF_F000, Kind: Load, Gap: 1},
+	}
+	got := roundTrip(t, recs)
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Errorf("empty trace returned %d records", len(got))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic should be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should be rejected")
+	}
+}
+
+func TestTruncatedTraceStops(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{PC: 1, VAddr: 2})
+	w.Write(Record{PC: 3, VAddr: 4})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-1] // chop the tail
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Errorf("decoded %d records from truncated trace", n)
+	}
+	if r.Err() == nil {
+		t.Error("truncation should surface as an error")
+	}
+}
+
+// Property: arbitrary record sequences survive a round trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Record, int(n%64))
+		for i := range recs {
+			recs[i] = Record{
+				PC:       rng.Uint64() % (1 << 48),
+				VAddr:    mem.VAddr(rng.Uint64() % (1 << 48)),
+				Kind:     Kind(rng.Intn(2)),
+				Gap:      uint16(rng.Intn(1 << 16)),
+				HasValue: rng.Intn(2) == 0,
+			}
+			if recs[i].HasValue {
+				recs[i].Value = rng.Uint64()
+			}
+		}
+		got := roundTrip(t, recs)
+		if len(recs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTakeAndSliceStream(t *testing.T) {
+	recs := []Record{{PC: 1}, {PC: 2}, {PC: 3}}
+	s := NewSliceStream(recs)
+	got := Take(s, 2)
+	if len(got) != 2 || got[1].PC != 2 {
+		t.Errorf("Take = %+v", got)
+	}
+	rest := Take(s, 10)
+	if len(rest) != 1 || rest[0].PC != 3 {
+		t.Errorf("rest = %+v", rest)
+	}
+	if len(Take(s, 5)) != 0 {
+		t.Error("exhausted stream should yield nothing")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Sequential-ish traces should encode well under ~6 bytes/record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		w.Write(Record{PC: 0x400000 + uint64(i%8)*4, VAddr: mem.VAddr(0x10000 + i*64), Gap: 5})
+	}
+	w.Flush()
+	if perRec := float64(buf.Len()) / n; perRec > 6 {
+		t.Errorf("encoding too large: %.1f bytes/record", perRec)
+	}
+}
+
+func TestWriterFlushIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{PC: 1, VAddr: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 || r.Err() != nil {
+		t.Errorf("n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestReaderStopsAfterError(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{PC: 1, VAddr: 2, HasValue: true, Value: 7})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-1]
+	r, _ := NewReader(bytes.NewReader(data))
+	r.Next() // fails mid-record
+	if _, ok := r.Next(); ok {
+		t.Error("reader must stay stopped after an error")
+	}
+	if r.Err() == nil {
+		t.Error("error must persist")
+	}
+}
+
+func TestNegativeDeltasRoundTrip(t *testing.T) {
+	recs := []Record{
+		{PC: 0xFFFF_FFFF, VAddr: 0xFFFF_F000},
+		{PC: 0x10, VAddr: 0x20}, // large negative deltas
+	}
+	got := roundTrip(t, recs)
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("negative-delta round trip failed: %+v", got)
+	}
+}

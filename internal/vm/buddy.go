@@ -1,0 +1,222 @@
+// Package vm models the operating system side of the TEMPO system: a
+// physical-frame buddy allocator (with a memhog-style fragmentation
+// model), x86-64 4-level radix page tables materialised in simulated
+// physical frames, and a demand-paging address space that implements
+// the paper's page-size policies (4KB-only, transparent 2MB hugepages,
+// libhugetlbfs 2MB, and libhugetlbfs 1GB).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// ErrNoMemory is returned when an allocation cannot be satisfied.
+var ErrNoMemory = errors.New("vm: out of physical memory")
+
+// nilFrame is the sentinel for empty free-list links.
+const nilFrame = ^mem.Frame(0)
+
+// MaxOrder is the largest buddy order supported: order 18 blocks are
+// 2^18 frames = 1GB, the largest x86-64 page size.
+const MaxOrder = 18
+
+// Buddy is a binary buddy allocator over 4KB physical frames. Orders
+// run from 0 (one 4KB frame) to MaxOrder (one 1GB block); order 9
+// blocks are exactly 2MB superpages. The allocator is deterministic:
+// free lists are LIFO and no map iteration order is observable.
+type Buddy struct {
+	frames     uint64
+	freeFrames uint64
+	heads      [MaxOrder + 1]mem.Frame
+	next       map[mem.Frame]mem.Frame
+	prev       map[mem.Frame]mem.Frame
+	freeOrd    map[mem.Frame]int8
+	allocOrd   map[mem.Frame]int8
+}
+
+// NewBuddy creates an allocator over the given number of 4KB frames.
+func NewBuddy(frames uint64) *Buddy {
+	b := &Buddy{
+		frames:   frames,
+		next:     make(map[mem.Frame]mem.Frame),
+		prev:     make(map[mem.Frame]mem.Frame),
+		freeOrd:  make(map[mem.Frame]int8),
+		allocOrd: make(map[mem.Frame]int8),
+	}
+	for i := range b.heads {
+		b.heads[i] = nilFrame
+	}
+	// Cover [0, frames) greedily with maximal aligned blocks.
+	var pos uint64
+	for pos < frames {
+		o := MaxOrder
+		if pos != 0 {
+			if tz := bits.TrailingZeros64(pos); tz < o {
+				o = tz
+			}
+		}
+		for pos+(1<<uint(o)) > frames {
+			o--
+		}
+		b.insertFree(mem.Frame(pos), o)
+		pos += 1 << uint(o)
+	}
+	b.freeFrames = frames
+	return b
+}
+
+// TotalFrames returns the size of physical memory in 4KB frames.
+func (b *Buddy) TotalFrames() uint64 { return b.frames }
+
+// FreeFrames returns the number of currently free 4KB frames.
+func (b *Buddy) FreeFrames() uint64 { return b.freeFrames }
+
+// HasFree reports whether a block of the given order can be allocated,
+// directly or by splitting a larger free block.
+func (b *Buddy) HasFree(order int) bool {
+	for o := order; o <= MaxOrder; o++ {
+		if b.heads[o] != nilFrame {
+			return true
+		}
+	}
+	return false
+}
+
+// LargestFreeOrder returns the largest order with a free block, or -1
+// if memory is exhausted.
+func (b *Buddy) LargestFreeOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if b.heads[o] != nilFrame {
+			return o
+		}
+	}
+	return -1
+}
+
+func (b *Buddy) insertFree(f mem.Frame, order int) {
+	h := b.heads[order]
+	b.next[f] = h
+	b.prev[f] = nilFrame
+	if h != nilFrame {
+		b.prev[h] = f
+	}
+	b.heads[order] = f
+	b.freeOrd[f] = int8(order)
+}
+
+func (b *Buddy) removeFree(f mem.Frame, order int) {
+	n, p := b.next[f], b.prev[f]
+	if p != nilFrame {
+		b.next[p] = n
+	} else {
+		b.heads[order] = n
+	}
+	if n != nilFrame {
+		b.prev[n] = p
+	}
+	delete(b.next, f)
+	delete(b.prev, f)
+	delete(b.freeOrd, f)
+}
+
+// Alloc allocates a block of 2^order contiguous, naturally aligned
+// frames and returns its first frame.
+func (b *Buddy) Alloc(order int) (mem.Frame, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("vm: invalid order %d", order)
+	}
+	o := order
+	for o <= MaxOrder && b.heads[o] == nilFrame {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, ErrNoMemory
+	}
+	f := b.heads[o]
+	b.removeFree(f, o)
+	for o > order {
+		o--
+		b.insertFree(f+mem.Frame(1)<<uint(o), o)
+	}
+	b.allocOrd[f] = int8(order)
+	b.freeFrames -= 1 << uint(order)
+	return f, nil
+}
+
+// AllocFrame allocates a single 4KB frame.
+func (b *Buddy) AllocFrame() (mem.Frame, error) { return b.Alloc(0) }
+
+// AllocSpecific allocates exactly the single 4KB frame f, splitting
+// whatever free block currently contains it. It is used by the memhog
+// fragmentation model to pollute chosen 2MB regions. It returns an
+// error if f is out of range or already allocated.
+func (b *Buddy) AllocSpecific(f mem.Frame) error {
+	if uint64(f) >= b.frames {
+		return fmt.Errorf("vm: frame %d out of range", f)
+	}
+	// Find the free block containing f.
+	found := -1
+	var head mem.Frame
+	for o := 0; o <= MaxOrder; o++ {
+		h := f &^ (mem.Frame(1)<<uint(o) - 1)
+		if ord, ok := b.freeOrd[h]; ok && int(ord) == o {
+			found, head = o, h
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("vm: frame %d not free", f)
+	}
+	b.removeFree(head, found)
+	for o := found; o > 0; {
+		o--
+		half := head + mem.Frame(1)<<uint(o)
+		if f >= half {
+			b.insertFree(head, o)
+			head = half
+		} else {
+			b.insertFree(half, o)
+		}
+	}
+	b.allocOrd[f] = 0
+	b.freeFrames--
+	return nil
+}
+
+// Free releases a previously allocated block, coalescing with free
+// buddies as far as possible.
+func (b *Buddy) Free(f mem.Frame) error {
+	ord, ok := b.allocOrd[f]
+	if !ok {
+		return fmt.Errorf("vm: frame %d not allocated", f)
+	}
+	delete(b.allocOrd, f)
+	order := int(ord)
+	b.freeFrames += 1 << uint(order)
+	for order < MaxOrder {
+		buddy := f ^ (mem.Frame(1) << uint(order))
+		if uint64(buddy)+(1<<uint(order)) > b.frames {
+			break
+		}
+		if bo, ok := b.freeOrd[buddy]; !ok || int(bo) != order {
+			break
+		}
+		b.removeFree(buddy, order)
+		if buddy < f {
+			f = buddy
+		}
+		order++
+	}
+	b.insertFree(f, order)
+	return nil
+}
+
+// Allocated reports whether f is the head of an allocated block.
+func (b *Buddy) Allocated(f mem.Frame) bool {
+	_, ok := b.allocOrd[f]
+	return ok
+}

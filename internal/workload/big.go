@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"repro/internal/mem"
+)
+
+// Program-counter bases, one block per workload so IMP tables don't
+// alias across cores running different workloads.
+const (
+	pcMCF = 0x400000 + iota*0x1000
+	pcCanneal
+	pcLSH
+	pcSPMV
+	pcSGMS
+	pcGraph500
+	pcXSBench
+	pcIllustris
+)
+
+// newMCF models Spec mcf's network-simplex pointer chasing: arcs and
+// nodes are visited by following pointers that jump arbitrarily far
+// through a multi-gigabyte arena, with a couple of field reads per
+// node and occasional cost updates (stores).
+func newMCF(cfg Config) Generator {
+	g := newGen("mcf", cfg, nil)
+	arena := g.footprint
+	g.refill = func(g *gen) {
+		// Chase: the next node address is drawn from the seeded
+		// stream, modelling a random permutation of pointers.
+		next := dataBase + mem.VAddr(uint64(g.rng.Int63n(int64(arena)))&^63)
+		g.load(pcMCF+0, next, 6)    // node header
+		g.load(pcMCF+4, next+64, 2) // arc list head
+		if g.rng.Intn(4) == 0 {
+			g.load(pcMCF+8, next+128, 1) // extra field
+		}
+		if g.rng.Intn(8) == 0 {
+			g.store(pcMCF+12, next+8, 3) // cost update
+		}
+	}
+	return g
+}
+
+// newCanneal models Parsec canneal's simulated annealing: pick two
+// random netlist elements, read each plus a spatial neighbour, swap
+// (stores). A minority of accesses touch hot bookkeeping state.
+func newCanneal(cfg Config) Generator {
+	g := newGen("canneal", cfg, nil)
+	const hotBytes = 512 << 10
+	hot := dataBase + mem.VAddr(g.footprint)
+	g.refill = func(g *gen) {
+		a := g.uniform(dataBase, g.footprint).Line()
+		b := g.uniform(dataBase, g.footprint).Line()
+		g.load(pcCanneal+0, a, 8)
+		g.load(pcCanneal+4, a+64, 1) // neighbour in the same element
+		g.load(pcCanneal+8, b, 3)
+		g.load(pcCanneal+12, b+64, 1)
+		g.store(pcCanneal+16, a, 4)
+		g.store(pcCanneal+20, b, 1)
+		// Hot annealing-schedule state.
+		g.load(pcCanneal+24, g.uniform(hot, hotBytes), 5)
+	}
+	return g
+}
+
+// newLSH models locality-sensitive hashing for nearest neighbours:
+// each query hashes into several tables (random bucket probes over a
+// huge footprint) and scans a few candidate vectors; the query vector
+// itself is hot.
+func newLSH(cfg Config) Generator {
+	g := newGen("lsh", cfg, nil)
+	const tables = 8
+	tblSpan := g.footprint / tables
+	queryRegion := dataBase + mem.VAddr(g.footprint)
+	g.refill = func(g *gen) {
+		// Read the (hot) query vector.
+		q := queryRegion + mem.VAddr(g.rng.Intn(64))*64
+		g.load(pcLSH+0, q, 10)
+		g.load(pcLSH+4, q+64, 1)
+		// The first two tables expose the classic indirect pattern:
+		// a hash value loaded from the (hot) hash buffer indexes the
+		// bucket array — IMP-learnable. The remaining probes read
+		// precomputed bucket pointers.
+		bucketsPerTable := tblSpan / 64
+		for t := 0; t < tables; t++ {
+			base := dataBase + mem.VAddr(uint64(t)*tblSpan)
+			if t < 2 {
+				h := uint64(g.rng.Int63n(int64(bucketsPerTable)))
+				g.indexLoad(pcLSH+28+uint64(t*4), queryRegion+mem.VAddr(128*64+uint64(t)*8), 1, h)
+				g.load(pcLSH+8, base+mem.VAddr(h*64), 4)
+			} else {
+				bucket := g.uniform(base, tblSpan).Line()
+				g.load(pcLSH+8, bucket, 4) // bucket header
+			}
+			if g.rng.Intn(2) == 0 {
+				g.load(pcLSH+12, g.uniform(base, tblSpan).Line()+64, 2) // candidate id list
+			}
+		}
+		// Scan two candidates (random vectors, two lines each).
+		for c := 0; c < 2; c++ {
+			v := g.uniform(dataBase, g.footprint).Line()
+			g.load(pcLSH+16, v, 3)
+			g.load(pcLSH+20, v+64, 1)
+		}
+		// Record the best match so far (hot).
+		g.store(pcLSH+24, queryRegion+mem.VAddr(64*64), 2)
+	}
+	return g
+}
+
+// newSPMV models sparse matrix-vector multiplication in CSR form: the
+// values and column-index arrays stream sequentially; x is indexed
+// indirectly through the column indices — the canonical A[B[i]]
+// pattern IMP targets. Column indices are random, so x accesses are
+// cold.
+func newSPMV(cfg Config) Generator {
+	g := newGen("spmv", cfg, nil)
+	// Layout: vals (half), colidx (quarter), x (quarter).
+	valsSpan := g.footprint / 2
+	colSpan := g.footprint / 4
+	xSpan := g.footprint / 4
+	valsBase := dataBase
+	colBase := dataBase + mem.VAddr(valsSpan)
+	xBase := colBase + mem.VAddr(colSpan)
+	yBase := xBase + mem.VAddr(xSpan)
+	var pos uint64 // streaming position (element index)
+	nnzPerRow := uint64(16)
+	g.refill = func(g *gen) {
+		xElems := xSpan / 8
+		for k := uint64(0); k < nnzPerRow; k++ {
+			col := uint64(g.rng.Int63n(int64(xElems)))
+			g.load(pcSPMV+0, valsBase+mem.VAddr((pos*8)%valsSpan), 2)
+			g.indexLoad(pcSPMV+4, colBase+mem.VAddr((pos*8)%colSpan), 1, col)
+			g.load(pcSPMV+8, xBase+mem.VAddr(col*8), 2) // the indirect access
+			pos++
+		}
+		// Row result store (sequential, hot-ish).
+		g.store(pcSPMV+12, yBase+mem.VAddr((pos/nnzPerRow*8)%(1<<20)), 3)
+	}
+	return g
+}
+
+// newSGMS models a symmetric Gauss-Seidel smoother: forward then
+// backward triangular sweeps over a sparse matrix, with indirect x
+// accesses and sequential updates of the solution vector.
+func newSGMS(cfg Config) Generator {
+	g := newGen("sgms", cfg, nil)
+	valsSpan := g.footprint / 2
+	colSpan := g.footprint / 4
+	xSpan := g.footprint / 4
+	valsBase := dataBase
+	colBase := dataBase + mem.VAddr(valsSpan)
+	xBase := colBase + mem.VAddr(colSpan)
+	var pos uint64
+	forward := true
+	rowLen := uint64(12)
+	g.refill = func(g *gen) {
+		xElems := xSpan / 8
+		for k := uint64(0); k < rowLen; k++ {
+			var sp uint64
+			if forward {
+				sp = (pos * 8) % valsSpan
+			} else {
+				sp = valsSpan - 8 - (pos*8)%valsSpan
+			}
+			col := uint64(g.rng.Int63n(int64(xElems)))
+			g.load(pcSGMS+0, valsBase+mem.VAddr(sp), 3)
+			g.indexLoad(pcSGMS+4, colBase+mem.VAddr(sp%colSpan), 1, col)
+			g.load(pcSGMS+8, xBase+mem.VAddr(col*8), 2)
+			pos++
+		}
+		// Solution update: read-modify-write of x[row].
+		row := uint64(g.rng.Int63n(int64(xElems)))
+		g.load(pcSGMS+12, xBase+mem.VAddr(row*8), 2)
+		g.store(pcSGMS+16, xBase+mem.VAddr(row*8), 1)
+		if pos%(valsSpan/8) < rowLen {
+			forward = !forward
+		}
+	}
+	return g
+}
+
+// newGraph500 models BFS on a scale-free graph: the frontier and
+// adjacency-offset arrays stream with good locality, while edge
+// targets scatter visits across the whole vertex set.
+func newGraph500(cfg Config) Generator {
+	g := newGen("graph500", cfg, nil)
+	// Layout: edges (3/4), visited + frontier (1/4).
+	edgeSpan := g.footprint * 3 / 4
+	vertSpan := g.footprint / 4
+	edgeBase := dataBase
+	vertBase := dataBase + mem.VAddr(edgeSpan)
+	var frontierPos uint64
+	g.refill = func(g *gen) {
+		// Pop next frontier vertex (sequential).
+		g.load(pcGraph500+0, vertBase+mem.VAddr((frontierPos*8)%vertSpan), 4)
+		// Read its adjacency offsets (sequential, same page usually).
+		g.load(pcGraph500+4, vertBase+mem.VAddr((frontierPos*8+8)%vertSpan), 1)
+		frontierPos++
+		// Scan 6 edges sequentially from a random edge-list position;
+		// each edge load returns the target vertex id (an index load —
+		// IMP can learn visited[edge[k]]), whose "visited" word is
+		// then probed at a random spot in the vertex region.
+		e := g.uniform(edgeBase, edgeSpan)
+		vertElems := vertSpan / 8
+		for k := 0; k < 6; k++ {
+			target := uint64(g.rng.Int63n(int64(vertElems)))
+			g.indexLoad(pcGraph500+8, e+mem.VAddr(k*8), 2, target)
+			g.load(pcGraph500+12, vertBase+mem.VAddr(target*8), 1)
+			if g.rng.Intn(4) == 0 {
+				g.store(pcGraph500+16, vertBase+mem.VAddr(target*8), 1) // mark visited / push
+			}
+		}
+	}
+	return g
+}
+
+// newXSBench models the Monte-Carlo neutron-transport cross-section
+// lookup kernel: each macroscopic lookup binary-searches a huge
+// unionised energy grid and then gathers per-nuclide data at
+// essentially uniform-random locations. Locality is the worst of all
+// workloads.
+func newXSBench(cfg Config) Generator {
+	g := newGen("xsbench", cfg, nil)
+	gridSpan := g.footprint / 4
+	xsSpan := g.footprint * 3 / 4
+	gridBase := dataBase
+	xsBase := dataBase + mem.VAddr(gridSpan)
+	g.refill = func(g *gen) {
+		// Binary-search probes of the energy grid: 3 scattered reads.
+		for k := 0; k < 3; k++ {
+			g.load(pcXSBench+0, g.uniform(gridBase, gridSpan), 4)
+		}
+		// Gather 6 nuclide entries, uniform random.
+		for k := 0; k < 6; k++ {
+			p := g.uniform(xsBase, xsSpan).Line()
+			g.load(pcXSBench+4, p, 3)
+			g.load(pcXSBench+8, p+64, 1)
+		}
+		// Accumulate the macroscopic cross-section (hot).
+		g.store(pcXSBench+12, gridBase+mem.VAddr(g.rng.Intn(8))*8, 2)
+	}
+	return g
+}
+
+// newIllustris models the cosmological simulation's tree-walk +
+// particle kernel: a few levels of pointer chasing through an octree
+// followed by a short sequential burst over a random particle block.
+func newIllustris(cfg Config) Generator {
+	g := newGen("illustris", cfg, nil)
+	treeSpan := g.footprint / 4
+	partSpan := g.footprint * 3 / 4
+	treeBase := dataBase
+	partBase := dataBase + mem.VAddr(treeSpan)
+	g.refill = func(g *gen) {
+		// Octree descent: 4 dependent node reads.
+		for k := 0; k < 4; k++ {
+			g.load(pcIllustris+0, g.uniform(treeBase, treeSpan).Line(), 5)
+		}
+		// Particle block: 4 sequential lines at a random base.
+		p := g.uniform(partBase, partSpan).Line()
+		for k := 0; k < 4; k++ {
+			g.load(pcIllustris+4, p+mem.VAddr(k*64), 2)
+		}
+		if g.rng.Intn(2) == 0 {
+			g.store(pcIllustris+8, p, 2) // force accumulation
+		}
+	}
+	return g
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"repro/internal/mem"
+)
+
+// PC bases for the small-footprint control workloads.
+const (
+	pcGCC = 0x600000 + iota*0x1000
+	pcBzip2
+	pcBlackscholes
+	pcStreamcluster
+)
+
+// newGCCSmall models a compiler-like workload: a hot working set with
+// high reuse plus occasional excursions over a modest footprint. TLB
+// and cache hit rates are high, so TEMPO should neither help nor hurt.
+func newGCCSmall(cfg Config) Generator {
+	g := newGen("gcc.small", cfg, nil)
+	hotSpan := uint64(1 << 20)
+	var pos uint64
+	g.refill = func(g *gen) {
+		// 9 hot accesses (strided within 1MB)...
+		for k := 0; k < 9; k++ {
+			g.load(pcGCC+0, dataBase+mem.VAddr((pos*96)%hotSpan), 4)
+			pos++
+		}
+		// ...one colder excursion.
+		g.load(pcGCC+4, g.uniform(dataBase, g.footprint), 6)
+		if g.rng.Intn(3) == 0 {
+			g.store(pcGCC+8, dataBase+mem.VAddr((pos*96)%hotSpan), 2)
+		}
+	}
+	return g
+}
+
+// newBzip2Small models compression: sequential streaming through the
+// input with a smaller dictionary region of random accesses.
+func newBzip2Small(cfg Config) Generator {
+	g := newGen("bzip2.small", cfg, nil)
+	dictSpan := g.footprint / 4
+	streamSpan := g.footprint - dictSpan
+	dictBase := dataBase + mem.VAddr(streamSpan)
+	var pos uint64
+	g.refill = func(g *gen) {
+		g.load(pcBzip2+0, dataBase+mem.VAddr((pos*64)%streamSpan), 5)
+		g.load(pcBzip2+4, g.uniform(dictBase, dictSpan), 3)
+		g.store(pcBzip2+8, dataBase+mem.VAddr((pos*64)%streamSpan), 2)
+		pos++
+	}
+	return g
+}
+
+// newBlackscholesSmall models option pricing: compute-dominated
+// sequential sweeps (long gaps, near-perfect locality).
+func newBlackscholesSmall(cfg Config) Generator {
+	g := newGen("blackscholes.small", cfg, nil)
+	var pos uint64
+	tblBase := dataBase + mem.VAddr(g.footprint)
+	g.refill = func(g *gen) {
+		base := dataBase + mem.VAddr((pos*40)%g.footprint)
+		g.load(pcBlackscholes+0, base, 25)
+		g.load(pcBlackscholes+4, base+8, 2)
+		// Occasional lookup in a small rate table (hot, random).
+		if g.rng.Intn(4) == 0 {
+			g.load(pcBlackscholes+12, g.uniform(tblBase, 64<<10), 3)
+		}
+		g.store(pcBlackscholes+8, base+32, 18)
+		pos++
+	}
+	return g
+}
+
+// newStreamclusterSmall models clustering: strided point sweeps with a
+// small hot centroid table.
+func newStreamclusterSmall(cfg Config) Generator {
+	g := newGen("streamcluster.small", cfg, nil)
+	centSpan := uint64(256 << 10)
+	centBase := dataBase + mem.VAddr(g.footprint)
+	var pos uint64
+	g.refill = func(g *gen) {
+		g.load(pcStreamcluster+0, dataBase+mem.VAddr((pos*320)%g.footprint), 6)
+		// Compare against a random centroid (hot table).
+		g.load(pcStreamcluster+4, g.uniform(centBase, centSpan), 3)
+		if pos%8 == 0 {
+			g.store(pcStreamcluster+8, g.uniform(centBase, centSpan), 2)
+		}
+		pos++
+	}
+	return g
+}
+
+// PC bases for the second wave of control workloads.
+const (
+	pcAstar = 0x700000 + iota*0x1000
+	pcMilc
+)
+
+// newAstarSmall models path-finding: pointer-ish walks over a modest
+// graph with a hot open-list; irregular but cache-friendly at this
+// footprint.
+func newAstarSmall(cfg Config) Generator {
+	g := newGen("astar.small", cfg, nil)
+	openSpan := uint64(512 << 10)
+	openBase := dataBase + mem.VAddr(g.footprint)
+	// The search expands nodes within a drifting 1MB map window —
+	// spatially local, like a real grid search.
+	window := dataBase
+	winSpan := uint64(256 << 10)
+	g.refill = func(g *gen) {
+		if g.rng.Intn(256) == 0 {
+			window = g.uniform(dataBase, g.footprint-winSpan)
+		}
+		// Pop from the hot open list.
+		g.load(pcAstar+0, g.uniform(openBase, openSpan), 7)
+		// Expand a node: read it and two neighbours.
+		n := g.uniform(window, winSpan).Line()
+		g.load(pcAstar+4, n, 3)
+		g.load(pcAstar+8, n+64, 1)
+		if g.rng.Intn(3) == 0 {
+			g.store(pcAstar+12, g.uniform(openBase, openSpan), 2) // push
+		}
+	}
+	return g
+}
+
+// newMilcSmall models lattice QCD: long strided sweeps over small
+// matrices with heavy compute between references.
+func newMilcSmall(cfg Config) Generator {
+	g := newGen("milc.small", cfg, nil)
+	var pos uint64
+	g.refill = func(g *gen) {
+		base := dataBase + mem.VAddr((pos*288)%g.footprint) // 3x3 complex matrices
+		g.load(pcMilc+0, base, 15)
+		g.load(pcMilc+4, base+64, 4)
+		g.load(pcMilc+8, base+128, 4)
+		g.store(pcMilc+12, base+192, 9)
+		if g.rng.Intn(16) == 0 {
+			// Gauge-field neighbour in another direction.
+			g.load(pcMilc+16, g.uniform(dataBase, g.footprint), 5)
+		}
+		pos++
+	}
+	return g
+}

@@ -1,0 +1,171 @@
+// Package tempo is the public API of the TEMPO reproduction — a
+// trace-driven simulator of translation-triggered prefetching
+// (Bhattacharjee, ASPLOS 2017) together with every substrate the paper
+// depends on: x86-64 virtual memory with superpages, TLBs and MMU
+// caches, a hardware page-table walker, a cache hierarchy, a DDR-class
+// DRAM model with FR-FCFS/BLISS scheduling and sub-row buffers, the
+// IMP indirect prefetcher, synthetic big-memory workloads, and a
+// multiprogrammed harness.
+//
+// Quick start:
+//
+//	cfg := tempo.DefaultConfig("xsbench")
+//	cfg.Tempo = tempo.DefaultTempo()
+//	res, err := tempo.Run(cfg)
+//	fmt.Println(res.IPC())
+//
+// Every figure of the paper's evaluation can be regenerated:
+//
+//	rep, err := tempo.RunFigure("fig10", tempo.QuickScale())
+//	fmt.Println(rep)
+package tempo
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Core configuration and result types (aliases into the simulator).
+type (
+	// Config describes one run: workloads, machine, OS policy, TEMPO
+	// and prefetcher switches, scheduler, and sub-row organisation.
+	Config = sim.Config
+	// Machine is the microarchitectural parameter set.
+	Machine = sim.Machine
+	// WorkloadSpec names one core's workload.
+	WorkloadSpec = sim.WorkloadSpec
+	// TempoConfig switches the paper's mechanism and its ablations.
+	TempoConfig = sim.TempoConfig
+	// OSPolicy selects the paging configuration.
+	OSPolicy = sim.OSPolicy
+	// Result carries per-core and memory-side statistics, superpage
+	// coverage, and modelled energy.
+	Result = sim.Result
+	// Stats is the counter set Result exposes.
+	Stats = stats.Stats
+	// Energy is a joule breakdown.
+	Energy = dram.Energy
+
+	// Scale sizes experiment runs (QuickScale or FullScale).
+	Scale = experiments.Scale
+	// Report is a regenerated figure.
+	Report = experiments.Report
+	// Figure is one entry of the experiment registry.
+	Figure = experiments.Figure
+	// Runner executes figures with memoised simulations.
+	Runner = experiments.Runner
+)
+
+// Scheduler kinds.
+const (
+	SchedFRFCFS = sim.SchedFRFCFS
+	SchedBLISS  = sim.SchedBLISS
+)
+
+// Sub-row allocation policies.
+const (
+	SubRowShared = sim.SubRowShared
+	SubRowFOA    = sim.SubRowFOA
+	SubRowPOA    = sim.SubRowPOA
+)
+
+// Page-size policies (Figure 13's axis).
+const (
+	Mode4KOnly      = vm.Mode4KOnly
+	ModeTHP         = vm.ModeTHP
+	ModeHugetlbfs2M = vm.ModeHugetlbfs2M
+	ModeHugetlbfs1G = vm.ModeHugetlbfs1G
+)
+
+// Row-buffer management policies.
+const (
+	PolicyAdaptive = dram.PolicyAdaptive
+	PolicyOpen     = dram.PolicyOpen
+	PolicyClosed   = dram.PolicyClosed
+)
+
+// DRAM-reference categories (for Stats queries).
+const (
+	DRAMPTW      = stats.DRAMPTW
+	DRAMReplay   = stats.DRAMReplay
+	DRAMOther    = stats.DRAMOther
+	DRAMPrefetch = stats.DRAMPrefetch
+)
+
+// Replay service points (Figure 11).
+const (
+	ReplayLLC       = stats.ReplayLLC
+	ReplayRowBuffer = stats.ReplayRowBuffer
+	ReplayDRAMArray = stats.ReplayDRAMArray
+)
+
+// DefaultConfig builds a single-core baseline run of the named
+// workload (TEMPO off).
+func DefaultConfig(workload string) Config { return sim.DefaultConfig(workload) }
+
+// DefaultMachine returns the DESIGN.md machine model.
+func DefaultMachine() Machine { return sim.DefaultMachine() }
+
+// DefaultTempo returns the paper's TEMPO configuration: row-buffer and
+// LLC prefetching with a 10-cycle PT-row wait.
+func DefaultTempo() TempoConfig { return sim.DefaultTempo() }
+
+// Run executes one configuration and returns its results.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// BigWorkloads lists the big-memory workloads from the paper's
+// evaluation (mcf, canneal, lsh, spmv, sgms, graph500, xsbench,
+// illustris).
+func BigWorkloads() []string { return workload.Big() }
+
+// SmallWorkloads lists the small-footprint Spec/Parsec-like control
+// workloads.
+func SmallWorkloads() []string { return workload.Small() }
+
+// Figures returns the experiment registry, one entry per data figure
+// of the paper.
+func Figures() []Figure { return experiments.All() }
+
+// QuickScale sizes experiments for benchmarks and smoke tests.
+func QuickScale() Scale { return experiments.QuickScale() }
+
+// FullScale sizes experiments for the EXPERIMENTS.md numbers.
+func FullScale() Scale { return experiments.FullScale() }
+
+// NewRunner builds an experiment runner at the given scale.
+func NewRunner(s Scale) *Runner { return experiments.NewRunner(s) }
+
+// Claim re-exports the experiment claims machinery: the paper's
+// qualitative assertions, checkable against regenerated figures.
+type (
+	Claim       = experiments.Claim
+	ClaimResult = experiments.ClaimResult
+)
+
+// Claims returns the paper's checkable assertions.
+func Claims() []Claim { return experiments.Claims() }
+
+// EvaluateClaims regenerates the needed figures and checks every claim.
+func EvaluateClaims(r *Runner) ([]ClaimResult, error) {
+	return experiments.EvaluateClaims(r)
+}
+
+// FormatClaims renders claim results as a table.
+func FormatClaims(results []ClaimResult) string {
+	return experiments.FormatClaims(results)
+}
+
+// RunFigure regenerates one paper figure by id ("fig01" ... "fig17").
+func RunFigure(id string, s Scale) (*Report, error) {
+	f, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("tempo: unknown figure %q", id)
+	}
+	return f.Run(experiments.NewRunner(s))
+}

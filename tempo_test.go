@@ -1,0 +1,64 @@
+package tempo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := DefaultConfig("xsbench")
+	cfg.Records = 8_000
+	cfg.Workloads[0].Footprint = 192 << 20
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tempo = DefaultTempo()
+	tempo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tempo.Total.Cycles >= base.Total.Cycles {
+		t.Errorf("TEMPO did not help: %d vs %d", tempo.Total.Cycles, base.Total.Cycles)
+	}
+	if base.IPC() <= 0 || tempo.Energy.Total() <= 0 {
+		t.Error("metrics missing")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(BigWorkloads()) != 8 || len(SmallWorkloads()) != 6 {
+		t.Errorf("catalog sizes: %d big, %d small", len(BigWorkloads()), len(SmallWorkloads()))
+	}
+	for _, w := range BigWorkloads() {
+		if strings.HasSuffix(w, ".small") {
+			t.Errorf("big list contains %s", w)
+		}
+	}
+}
+
+func TestFigureRegistryExposed(t *testing.T) {
+	if len(Figures()) != 10 {
+		t.Errorf("figures = %d", len(Figures()))
+	}
+	if _, err := RunFigure("fig99", QuickScale()); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunFigureSmoke(t *testing.T) {
+	s := QuickScale()
+	s.Records = 4_000
+	s.Footprint = 128 << 20
+	s.Big = []string{"mcf"}
+	rep, err := RunFigure("fig01", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.ID != "fig01" {
+		t.Errorf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "mcf") {
+		t.Error("render missing workload")
+	}
+}
