@@ -1,22 +1,35 @@
 // Command tempo-bench regenerates the paper's evaluation figures.
 //
+// Simulations fan out across a worker pool (-parallel, default
+// GOMAXPROCS) through the internal/runner engine; results land in a
+// persistent cache when -cache-dir is set, so interrupted sweeps
+// resume and -figure subsets reuse completed runs. The run ends with
+// total wall-clock, executed/cached simulation counts, and — when a
+// cache or -runs log is configured — a machine-readable runs.jsonl.
+//
 // Usage:
 //
-//	tempo-bench                      # every figure, full scale
-//	tempo-bench -scale quick         # fast pass
-//	tempo-bench -figure fig10,fig13  # a subset
-//	tempo-bench -o results.txt       # also write a report file
+//	tempo-bench                       # every figure, full scale
+//	tempo-bench -scale quick          # fast pass
+//	tempo-bench -figure fig10,fig13   # a subset
+//	tempo-bench -parallel 8           # worker count (default GOMAXPROCS)
+//	tempo-bench -cache-dir .tempo     # persist results; re-runs skip sims
+//	tempo-bench -timeout 30m          # abandon any single sim after 30m
+//	tempo-bench -runs runs.jsonl      # per-job telemetry log
+//	tempo-bench -o results.txt        # also write a report file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	tempo "repro"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -29,6 +42,10 @@ func main() {
 		claims    = flag.Bool("claims", false, "after the figures, evaluate the paper's qualitative claims")
 		extras    = flag.Bool("extras", false, "also run the ablation studies (abl01..abl04)")
 		compare   = flag.String("compare", "", "write a paper-vs-measured markdown table to this file")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count")
+		cacheDir  = flag.String("cache-dir", "", "persistent result cache directory (empty: in-memory only)")
+		timeout   = flag.Duration("timeout", 0, "per-simulation timeout (0: none)")
+		runsLog   = flag.String("runs", "", "write per-job runs.jsonl here (default: <cache-dir>/runs.jsonl)")
 	)
 	flag.Parse()
 
@@ -58,9 +75,37 @@ func main() {
 		}
 	}
 
-	runner := tempo.NewRunner(scale)
+	// Assemble the execution engine: worker pool, persistent cache,
+	// progress telemetry.
+	popts := runner.Options{Parallelism: *parallel, Timeout: *timeout}
+	if *cacheDir != "" {
+		dc, err := runner.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatal("%v", err)
+		}
+		popts.Cache = dc
+		if *runsLog == "" {
+			*runsLog = *cacheDir + "/runs.jsonl"
+		}
+	}
+	tel := &runner.Telemetry{}
 	if *verbose {
-		runner.Log = func(format string, args ...any) {
+		tel.Out = os.Stderr
+	}
+	if *runsLog != "" {
+		f, err := os.OpenFile(*runsLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("opening %s: %v", *runsLog, err)
+		}
+		defer f.Close()
+		tel.JSONL = f
+	}
+	popts.Telemetry = tel
+	pool := runner.New(popts)
+
+	benchRunner := tempo.NewParallelRunner(scale, pool)
+	if *verbose {
+		benchRunner.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
@@ -71,7 +116,7 @@ func main() {
 	for _, f := range selected {
 		fmt.Fprintf(os.Stderr, "== %s: %s\n", f.ID, f.Title)
 		t0 := time.Now()
-		rep, err := f.Run(runner)
+		rep, err := benchRunner.RunFigure(f)
 		if err != nil {
 			fatal("%s: %v", f.ID, err)
 		}
@@ -87,7 +132,7 @@ func main() {
 	}
 	if *compare != "" {
 		fmt.Fprintln(os.Stderr, "== comparing against the paper's bands")
-		table, err := experiments.ComparePaper(runner)
+		table, err := experiments.ComparePaper(benchRunner)
 		if err != nil {
 			fatal("compare: %v", err)
 		}
@@ -98,7 +143,7 @@ func main() {
 	}
 	if *claims {
 		fmt.Fprintln(os.Stderr, "== evaluating paper claims")
-		results, err := experiments.EvaluateClaims(runner)
+		results, err := experiments.EvaluateClaims(benchRunner)
 		if err != nil {
 			fatal("claims: %v", err)
 		}
@@ -106,7 +151,18 @@ func main() {
 		fmt.Println(table)
 		fmt.Fprintln(&report, table)
 	}
-	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+
+	// End-of-run accounting: wall-clock, simulations executed vs
+	// served from cache, and the serial-equivalent sim time the
+	// workers absorbed.
+	wall := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(os.Stderr, "total wall-clock %v across %d workers\n", wall, *parallel)
+	fmt.Fprintf(os.Stderr, "simulations: %d executed (%v sim time), cache %d hits / %d misses, %d failed\n",
+		pool.Executed(), pool.SimWall().Round(time.Millisecond),
+		pool.CacheHits(), pool.CacheMisses(), pool.Failed())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", *cacheDir)
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {

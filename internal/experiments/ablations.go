@@ -71,13 +71,9 @@ func (r *Runner) Abl02RowSize() (*Report, error) {
 		for _, sz := range sizes {
 			cfgB := r.singleCfg(wl)
 			cfgB.Machine.DRAM.Geometry.RowBytes = sz
-			base, err := r.run(fmt.Sprintf("abl02/%s/%d/base", wl, sz), cfgB)
-			if err != nil {
-				return nil, err
-			}
-			cfgT := cfgB
-			cfgT.Tempo = sim.DefaultTempo()
-			tempo, err := r.run(fmt.Sprintf("abl02/%s/%d/tempo", wl, sz), cfgT)
+			base, tempo, err := r.baseTempoPair(
+				fmt.Sprintf("abl02/%s/%d/base", wl, sz),
+				fmt.Sprintf("abl02/%s/%d/tempo", wl, sz), cfgB)
 			if err != nil {
 				return nil, err
 			}
@@ -140,13 +136,9 @@ func (r *Runner) Abl04LLCReplacement() (*Report, error) {
 		for _, rp := range reps {
 			cfgB := r.singleCfg(wl)
 			cfgB.Machine.Caches.LLC.Replace = rp.kind
-			base, err := r.run(fmt.Sprintf("abl04/%s/%s/base", wl, rp.name), cfgB)
-			if err != nil {
-				return nil, err
-			}
-			cfgT := cfgB
-			cfgT.Tempo = sim.DefaultTempo()
-			tempo, err := r.run(fmt.Sprintf("abl04/%s/%s/tempo", wl, rp.name), cfgT)
+			base, tempo, err := r.baseTempoPair(
+				fmt.Sprintf("abl04/%s/%s/base", wl, rp.name),
+				fmt.Sprintf("abl04/%s/%s/tempo", wl, rp.name), cfgB)
 			if err != nil {
 				return nil, err
 			}

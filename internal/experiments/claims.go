@@ -271,7 +271,8 @@ func Claims() []Claim {
 }
 
 // EvaluateClaims regenerates the needed figures (reusing the runner's
-// cache) and checks every claim.
+// cache — and its parallel engine when attached) and checks every
+// claim.
 func EvaluateClaims(r *Runner) ([]ClaimResult, error) {
 	reports := map[string]*Report{}
 	var out []ClaimResult
@@ -283,7 +284,7 @@ func EvaluateClaims(r *Runner) ([]ClaimResult, error) {
 				return nil, fmt.Errorf("experiments: claim %s references unknown figure %s", c.ID, c.Figure)
 			}
 			var err error
-			rep, err = fig.Run(r)
+			rep, err = r.RunFigure(fig)
 			if err != nil {
 				return nil, err
 			}

@@ -6,12 +6,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -196,14 +200,40 @@ func ByID(id string) (Figure, bool) {
 
 // Runner executes figures at one scale, memoising simulation results
 // (runs are deterministic, so reuse across figures is sound).
+//
+// With an Engine attached, figure execution is two-phase: RunFigure
+// first replays the figure body in enumeration mode to collect every
+// simulation it needs (r.run hands back shaped placeholders and
+// records the config), then executes the deduplicated batch across
+// the engine's workers — hitting its persistent cache where warm —
+// and finally evaluates the figure body for real, served entirely
+// from the populated memo table. Reports are therefore byte-identical
+// to a serial run regardless of worker count or cache temperature.
+//
+// A Runner's methods are not safe for concurrent use with each other;
+// parallelism lives inside the Engine.
 type Runner struct {
 	Scale Scale
 	// Log, when set, receives progress lines.
-	Log   func(format string, args ...any)
+	Log func(format string, args ...any)
+	// Engine, when set, executes simulations through the parallel
+	// work pool (and its persistent cache) instead of inline.
+	Engine *runner.Pool
+	// Ctx, when set, cancels in-flight batches (default Background).
+	Ctx context.Context
+
+	// mu guards cache: engine workers populate it concurrently.
+	mu    sync.Mutex
 	cache map[string]*sim.Result
+
+	// Enumeration state (two-phase execution).
+	enumerating bool
+	pending     []runner.Job
+	pendingSeen map[string]bool
 }
 
-// NewRunner builds a runner.
+// NewRunner builds a serial runner; attach an Engine for parallel
+// execution.
 func NewRunner(s Scale) *Runner {
 	return &Runner{Scale: s, cache: make(map[string]*sim.Result)}
 }
@@ -214,19 +244,132 @@ func (r *Runner) logf(format string, args ...any) {
 	}
 }
 
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// RunFigure executes one figure through the runner, using two-phase
+// enumerate-then-evaluate execution when an Engine is attached.
+func (r *Runner) RunFigure(f Figure) (*Report, error) {
+	if r.Engine == nil {
+		return f.Run(r)
+	}
+	jobs, err := r.enumerate(f)
+	// An enumeration failure falls through to direct evaluation,
+	// which reproduces the error (or succeeds serially) with real
+	// results instead of placeholders.
+	if err == nil && len(jobs) > 0 {
+		for _, jr := range r.Engine.Run(r.ctx(), jobs) {
+			if jr.Err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", f.ID, jr.Err)
+			}
+			r.mu.Lock()
+			r.cache[jr.Key] = jr.Result
+			r.mu.Unlock()
+		}
+	}
+	return f.Run(r)
+}
+
+// enumerate replays the figure body collecting the (key, config) set
+// it would run. Config enumeration never depends on simulation
+// outputs (figures decide their sweeps up front), so placeholder
+// results are sufficient to drive the body to completion.
+func (r *Runner) enumerate(f Figure) ([]runner.Job, error) {
+	r.mu.Lock()
+	r.enumerating = true
+	r.pending = nil
+	r.pendingSeen = make(map[string]bool)
+	r.mu.Unlock()
+	_, err := f.Run(r)
+	r.mu.Lock()
+	jobs := r.pending
+	r.enumerating = false
+	r.pending, r.pendingSeen = nil, nil
+	r.mu.Unlock()
+	return jobs, err
+}
+
+// placeholderResult stands in for a not-yet-run simulation during the
+// enumeration pass: shaped like a real result (per-core slices sized
+// from the config, unit cycle/instruction counts so IPC and ratio
+// math stay finite) and discarded along with the pass's report.
+func placeholderResult(cfg sim.Config) *sim.Result {
+	n := len(cfg.Workloads)
+	if n == 0 {
+		n = 1
+	}
+	res := &sim.Result{
+		Cores:     make([]stats.Stats, n),
+		Superpage: make([]float64, n),
+	}
+	for i := range res.Cores {
+		res.Cores[i].Cycles = 1
+		res.Cores[i].Instructions = 1
+	}
+	res.Total.Cycles = 1
+	res.Total.Instructions = 1
+	return res
+}
+
 // run executes (or recalls) one simulation. The key must uniquely
-// describe cfg among this runner's uses.
+// describe cfg among this runner's uses. In enumeration mode it
+// records the job and returns a placeholder instead.
 func (r *Runner) run(key string, cfg sim.Config) (*sim.Result, error) {
+	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
 		return res, nil
 	}
+	if r.enumerating {
+		if !r.pendingSeen[key] {
+			r.pendingSeen[key] = true
+			r.pending = append(r.pending, runner.Job{Key: key, Config: cfg})
+		}
+		r.mu.Unlock()
+		return placeholderResult(cfg), nil
+	}
+	r.mu.Unlock()
 	r.logf("running %s", key)
-	res, err := sim.Run(cfg)
+	var res *sim.Result
+	var err error
+	if r.Engine != nil {
+		// Stragglers outside a batch still get the engine's persistent
+		// cache and panic containment.
+		res, err = r.Engine.RunOne(r.ctx(), key, cfg)
+	} else {
+		res, err = sim.Run(cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", key, err)
 	}
+	r.mu.Lock()
 	r.cache[key] = res
+	r.mu.Unlock()
 	return res, nil
+}
+
+// cacheLen reports the memo-table size (tests assert run reuse).
+func (r *Runner) cacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
+// mean averages a slice (0 for empty) — the aggregation every
+// multi-run figure uses.
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
 }
 
 // singleCfg is the standard single-core configuration for a big

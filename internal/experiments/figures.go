@@ -10,6 +10,23 @@ import (
 	"repro/internal/vm"
 )
 
+// tempoVariant returns cfg with the paper's TEMPO configuration
+// enabled.
+func tempoVariant(cfg sim.Config) sim.Config {
+	cfg.Tempo = sim.DefaultTempo()
+	return cfg
+}
+
+// baseTempoPair runs (or recalls) the baseline configuration and its
+// TEMPO-enabled variant — the comparison at the heart of most figures.
+func (r *Runner) baseTempoPair(baseKey, tempoKey string, cfg sim.Config) (base, tempo *sim.Result, err error) {
+	if base, err = r.run(baseKey, cfg); err != nil {
+		return nil, nil, err
+	}
+	tempo, err = r.run(tempoKey, tempoVariant(cfg))
+	return base, tempo, err
+}
+
 // Fig01 reproduces Figure 1: the fraction of application runtime spent
 // in DRAM page-table-walk accesses, DRAM replay accesses, and other
 // DRAM accesses, per big-data workload, on the baseline system.
@@ -69,13 +86,7 @@ func (r *Runner) Fig10() (*Report, error) {
 	}
 	energy := dram.DefaultEnergyModel()
 	for _, wl := range r.Scale.Big {
-		base, err := r.run("base/"+wl, r.singleCfg(wl))
-		if err != nil {
-			return nil, err
-		}
-		cfgT := r.singleCfg(wl)
-		cfgT.Tempo = sim.DefaultTempo()
-		tempo, err := r.run("tempo/"+wl, cfgT)
+		base, tempo, err := r.baseTempoPair("base/"+wl, "tempo/"+wl, r.singleCfg(wl))
 		if err != nil {
 			return nil, err
 		}
@@ -100,13 +111,7 @@ func (r *Runner) Fig11() (*Report, error) {
 	groupPerf := map[bool][]float64{}
 	groupEnergy := map[bool][]float64{}
 	addGroup := func(big bool, wl string, cfgFn func(string) sim.Config) error {
-		base, err := r.run("base/"+wl, cfgFn(wl))
-		if err != nil {
-			return err
-		}
-		cfgT := cfgFn(wl)
-		cfgT.Tempo = sim.DefaultTempo()
-		tempo, err := r.run("tempo/"+wl, cfgT)
+		base, tempo, err := r.baseTempoPair("base/"+wl, "tempo/"+wl, cfgFn(wl))
 		if err != nil {
 			return err
 		}
@@ -132,16 +137,6 @@ func (r *Runner) Fig11() (*Report, error) {
 		if err := addGroup(false, wl, r.smallCfg); err != nil {
 			return nil, err
 		}
-	}
-	mean := func(xs []float64) float64 {
-		var s float64
-		for _, x := range xs {
-			s += x
-		}
-		if len(xs) == 0 {
-			return 0
-		}
-		return s / float64(len(xs))
 	}
 	rep.Rows = append(rep.Rows,
 		Row{Label: "MEAN(big-data)", Values: []float64{0, 0, 0, mean(groupPerf[true]), mean(groupEnergy[true])}},
@@ -236,13 +231,9 @@ func (r *Runner) Fig13() (*Report, error) {
 		for _, pc := range fig13Configs() {
 			cfgB := r.singleCfg(wl)
 			cfgB.OS = pc.OS
-			base, err := r.run(fmt.Sprintf("f13/%s/%s/base", wl, pc.Label), cfgB)
-			if err != nil {
-				return nil, err
-			}
-			cfgT := cfgB
-			cfgT.Tempo = sim.DefaultTempo()
-			tempo, err := r.run(fmt.Sprintf("f13/%s/%s/tempo", wl, pc.Label), cfgT)
+			base, tempo, err := r.baseTempoPair(
+				fmt.Sprintf("f13/%s/%s/base", wl, pc.Label),
+				fmt.Sprintf("f13/%s/%s/tempo", wl, pc.Label), cfgB)
 			if err != nil {
 				return nil, err
 			}
@@ -273,13 +264,9 @@ func (r *Runner) Fig14() (*Report, error) {
 		for _, pol := range policies {
 			cfgB := r.homoCfg(wl)
 			cfgB.Machine.DRAM.Policy = pol
-			base, err := r.run(fmt.Sprintf("f14/%s/%v/base", wl, pol), cfgB)
-			if err != nil {
-				return nil, err
-			}
-			cfgT := cfgB
-			cfgT.Tempo = sim.DefaultTempo()
-			tempo, err := r.run(fmt.Sprintf("f14/%s/%v/tempo", wl, pol), cfgT)
+			base, tempo, err := r.baseTempoPair(
+				fmt.Sprintf("f14/%s/%v/base", wl, pol),
+				fmt.Sprintf("f14/%s/%v/tempo", wl, pol), cfgB)
 			if err != nil {
 				return nil, err
 			}

@@ -113,16 +113,6 @@ func (r *Runner) Fig16() (*Report, error) {
 			graceAcc[gi].ms = append(graceAcc[gi].ms, (msB-ms)/msB)
 		}
 	}
-	mean := func(xs []float64) float64 {
-		var s float64
-		for _, x := range xs {
-			s += x
-		}
-		if len(xs) == 0 {
-			return 0
-		}
-		return s / float64(len(xs))
-	}
 	for wi, w := range weights {
 		rep.Rows = append(rep.Rows, Row{
 			Label:  fmt.Sprintf("weight=%d", w),
@@ -190,16 +180,6 @@ func (r *Runner) Fig17() (*Report, error) {
 				results[k].ms = append(results[k].ms, (msB-ms)/msB)
 			}
 		}
-	}
-	mean := func(xs []float64) float64 {
-		var s float64
-		for _, x := range xs {
-			s += x
-		}
-		if len(xs) == 0 {
-			return 0
-		}
-		return s / float64(len(xs))
 	}
 	for _, pol := range policies {
 		for _, d := range dedic {

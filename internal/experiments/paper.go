@@ -184,7 +184,8 @@ func PaperPoints() []PaperPoint {
 }
 
 // ComparePaper evaluates every comparison point, regenerating figures
-// through the runner's cache as needed.
+// through the runner's cache (and parallel engine, when attached) as
+// needed.
 func ComparePaper(r *Runner) (string, error) {
 	reports := map[string]*Report{}
 	var b strings.Builder
@@ -198,7 +199,7 @@ func ComparePaper(r *Runner) (string, error) {
 				return "", fmt.Errorf("experiments: comparison references unknown figure %s", p.Figure)
 			}
 			var err error
-			rep, err = fig.Run(r)
+			rep, err = r.RunFigure(fig)
 			if err != nil {
 				return "", err
 			}

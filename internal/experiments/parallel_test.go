@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// parallelScale keeps the determinism tests fast while still spanning
+// single-app, paired, and multiprogrammed figures.
+func parallelScale() Scale {
+	s := tinyScale()
+	s.Records = 4_000
+	s.Footprint = 128 << 20
+	return s
+}
+
+// engineRunner builds a runner backed by an 8-worker pool over the
+// given cache directory.
+func engineRunner(t *testing.T, s Scale, cacheDir string) (*Runner, *runner.Pool) {
+	t.Helper()
+	dc, err := runner.NewDiskCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(runner.Options{Parallelism: 8, Cache: dc})
+	r := NewRunner(s)
+	r.Engine = pool
+	return r, pool
+}
+
+// TestParallelReportsByteIdentical is the subsystem's core determinism
+// guarantee: a figure's Report renders byte-identically whether the
+// simulations ran serially, across 8 workers with a cold persistent
+// cache, or entirely from a warm cache — and the warm run executes
+// zero simulations.
+func TestParallelReportsByteIdentical(t *testing.T) {
+	s := parallelScale()
+	for _, id := range []string{"fig10", "fig16"} {
+		t.Run(id, func(t *testing.T) {
+			fig, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown figure %s", id)
+			}
+			serial := NewRunner(s)
+			want, err := serial.RunFigure(fig)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cacheDir := t.TempDir()
+			cold, coldPool := engineRunner(t, s, cacheDir)
+			gotCold, err := cold.RunFigure(fig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCold.String() != want.String() {
+				t.Errorf("cold parallel String diverges from serial:\n--- serial\n%s\n--- parallel\n%s",
+					want, gotCold)
+			}
+			if gotCold.CSV() != want.CSV() {
+				t.Error("cold parallel CSV diverges from serial")
+			}
+			if coldPool.Executed() == 0 {
+				t.Error("cold run executed no simulations")
+			}
+
+			warm, warmPool := engineRunner(t, s, cacheDir)
+			gotWarm, err := warm.RunFigure(fig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotWarm.String() != want.String() {
+				t.Error("warm-cache String diverges from serial")
+			}
+			if gotWarm.CSV() != want.CSV() {
+				t.Error("warm-cache CSV diverges from serial")
+			}
+			if n := warmPool.Executed(); n != 0 {
+				t.Errorf("warm cache re-ran %d simulations, want 0", n)
+			}
+			if warmPool.CacheHits() == 0 {
+				t.Error("warm run reported no cache hits")
+			}
+		})
+	}
+}
+
+// TestTwoPhaseEnumeration checks the enumerate pass collects exactly
+// the simulations the figure needs, deduplicated, without executing
+// any.
+func TestTwoPhaseEnumeration(t *testing.T) {
+	s := parallelScale()
+	r := NewRunner(s)
+	fig, _ := ByID("fig01")
+	jobs, err := r.enumerate(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(s.Big) {
+		t.Fatalf("fig01 enumerated %d jobs, want %d (one baseline per big workload)", len(jobs), len(s.Big))
+	}
+	for i, wl := range s.Big {
+		if jobs[i].Key != "base/"+wl {
+			t.Errorf("job %d key = %q", i, jobs[i].Key)
+		}
+	}
+	if r.cacheLen() != 0 {
+		t.Errorf("enumeration populated the memo table: %d entries", r.cacheLen())
+	}
+	// Figures sharing baselines enumerate to overlapping sets: fig04
+	// needs exactly fig01's runs, so after fig01 executes, fig04
+	// enumerates to nothing.
+	if _, err := r.RunFigure(fig); err != nil {
+		t.Fatal(err)
+	}
+	fig04, _ := ByID("fig04")
+	jobs, err = r.enumerate(fig04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("fig04 re-enumerated %d cached jobs", len(jobs))
+	}
+}
+
+// TestEngineClaimsMatchSerial runs the claims engine both ways on a
+// one-workload scale and requires identical tables.
+func TestEngineClaimsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims evaluation runs every figure")
+	}
+	s := parallelScale()
+	serial := NewRunner(s)
+	wantRes, err := EvaluateClaims(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := engineRunner(t, s, t.TempDir())
+	gotRes, err := EvaluateClaims(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := FormatClaims(wantRes), FormatClaims(gotRes)
+	if want != got {
+		t.Errorf("claims diverge:\n--- serial\n%s\n--- parallel\n%s", want, got)
+	}
+	if !strings.Contains(got, "ptw-substantial") {
+		t.Error("claims table incomplete")
+	}
+}

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// SchemaVersion namespaces cache entries. Bump it whenever the result
+// layout or simulator semantics change so stale entries are ignored
+// rather than misread; the config hash already covers configuration
+// fields themselves (a Config gaining a field changes every key).
+const SchemaVersion = 1
+
+// ConfigKey returns the stable content hash naming cfg in the
+// persistent cache: a SHA-256 of the canonically-serialized
+// configuration under the current schema version. Two configs hash
+// equal exactly when every field (machine, OS policy, workloads,
+// seeds, TEMPO switches, …) is equal.
+func ConfigKey(cfg sim.Config) (string, error) {
+	// JSON of a struct is deterministic: fields serialize in
+	// declaration order, maps are not part of Config.
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("runner: hashing config: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "tempo-result-v%d\n", SchemaVersion)
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DiskCache persists simulation results under a directory, one
+// gob-encoded file per config hash:
+//
+//	<dir>/v<SchemaVersion>/<hh>/<hash>.gob
+//
+// where <hh> is the first hash byte (fanout keeps directories small
+// for full-scale sweeps). Writes are atomic (temp file + rename), so
+// concurrent workers and even concurrent processes sharing a cache
+// directory never observe torn entries. Corrupt or unreadable entries
+// degrade to misses.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	root := filepath.Join(dir, fmt.Sprintf("v%d", SchemaVersion))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &DiskCache{dir: root}, nil
+}
+
+// Dir returns the versioned cache root.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
+	fan := "xx"
+	if len(key) >= 2 {
+		fan = key[:2]
+	}
+	return filepath.Join(c.dir, fan, key+".gob")
+}
+
+// Get loads the result stored under key, reporting whether it exists
+// and decoded cleanly.
+func (c *DiskCache) Get(key string) (*sim.Result, bool) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var res sim.Result
+	if err := gob.NewDecoder(f).Decode(&res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Put stores res under key atomically.
+func (c *DiskCache) Put(key string, res *sim.Result) error {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(res); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len counts the entries currently stored (walks the directory; meant
+// for tests and end-of-run reporting, not hot paths).
+func (c *DiskCache) Len() int {
+	n := 0
+	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".gob" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestConfigKeyStableAndSensitive(t *testing.T) {
+	a, err := ConfigKey(sim.DefaultConfig("xsbench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ConfigKey(sim.DefaultConfig("xsbench"))
+	if a != b {
+		t.Error("identical configs hash differently")
+	}
+	if len(a) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(a))
+	}
+	// Every kind of field change must move the hash.
+	mutations := []func(*sim.Config){
+		func(c *sim.Config) { c.Seed = 99 },
+		func(c *sim.Config) { c.Records++ },
+		func(c *sim.Config) { c.Tempo = sim.DefaultTempo() },
+		func(c *sim.Config) { c.Workloads[0].Name = "mcf" },
+		func(c *sim.Config) { c.Machine.DRAM.Geometry.RowBytes *= 2 },
+		func(c *sim.Config) { c.OS.MemhogFraction = 0.5 },
+		func(c *sim.Config) { c.Scheduler = sim.SchedBLISS },
+	}
+	for i, mut := range mutations {
+		cfg := sim.DefaultConfig("xsbench")
+		mut(&cfg)
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == a {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := ConfigKey(sim.DefaultConfig("mcf"))
+	if _, ok := dc.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := &sim.Result{
+		Cores:     []stats.Stats{{Cycles: 123, Instructions: 456}},
+		Total:     stats.Stats{Cycles: 123, Instructions: 456, TLBMisses: 7},
+		Superpage: []float64{0.625},
+		TempoOn:   true,
+	}
+	want.Total.DRAMRefs[stats.DRAMPTW] = 11
+	if err := dc.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dc.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Total != want.Total || got.Cores[0] != want.Cores[0] ||
+		got.Superpage[0] != want.Superpage[0] || got.TempoOn != want.TempoOn {
+		t.Errorf("round trip mutated the result:\n got %+v\nwant %+v", got, want)
+	}
+	if dc.Len() != 1 {
+		t.Errorf("Len = %d", dc.Len())
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := ConfigKey(sim.DefaultConfig("mcf"))
+	if err := dc.Put(key, &sim.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry behind the cache's back.
+	path := filepath.Join(dc.Dir(), key[:2], key+".gob")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Get(key); ok {
+		t.Error("corrupt entry reported as hit")
+	}
+}
+
+func TestDiskCacheVersionIsolation(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dc.Dir()) != "v1" {
+		t.Errorf("cache root %q not versioned", dc.Dir())
+	}
+}

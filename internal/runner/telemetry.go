@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Telemetry reports batch progress. Out receives human-readable
+// completed/total lines with per-job wall-clock and a running ETA;
+// JSONL receives one machine-readable record per completed job
+// (the runs.jsonl log). Both are optional. A single Telemetry may be
+// shared by every batch of a pool; totals accumulate.
+type Telemetry struct {
+	Out   io.Writer
+	JSONL io.Writer
+	// Now substitutes the clock in tests (default time.Now).
+	Now func() time.Time
+
+	mu          sync.Mutex
+	start       time.Time
+	total       int
+	done        int
+	cached      int
+	failed      int
+	parallelism int
+	execWall    time.Duration // summed wall of executed (non-cached) jobs
+	executed    int
+}
+
+// runRecord is one runs.jsonl line.
+type runRecord struct {
+	Key       string  `json:"key"`
+	Cached    bool    `json:"cached"`
+	WallMS    float64 `json:"wall_ms"`
+	Err       string  `json:"err,omitempty"`
+	Completed int     `json:"completed"`
+	Total     int     `json:"total"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	EtaMS     float64 `json:"eta_ms"`
+}
+
+func (t *Telemetry) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// begin opens a batch of n jobs (adding to any batch already in
+// flight).
+func (t *Telemetry) begin(n, parallelism int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		t.start = t.now()
+	}
+	t.total += n
+	t.parallelism = parallelism
+}
+
+// note records one completed job and emits progress.
+func (t *Telemetry) note(r JobResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		t.start = t.now()
+	}
+	t.done++
+	if t.done > t.total {
+		t.total = t.done // RunOne outside a batch
+	}
+	switch {
+	case r.Err != nil:
+		t.failed++
+	case r.FromCache:
+		t.cached++
+	default:
+		t.executed++
+		t.execWall += r.Wall
+	}
+	elapsed := t.now().Sub(t.start)
+	eta := t.etaLocked()
+	if t.Out != nil {
+		status := ""
+		switch {
+		case r.Err != nil:
+			status = " FAILED"
+		case r.FromCache:
+			status = " (cached)"
+		}
+		fmt.Fprintf(t.Out, "[%d/%d] %s %s%s  elapsed %s eta %s\n",
+			t.done, t.total, r.Key, r.Wall.Round(time.Millisecond), status,
+			elapsed.Round(time.Second), eta.Round(time.Second))
+	}
+	if t.JSONL != nil {
+		rec := runRecord{
+			Key: r.Key, Cached: r.FromCache,
+			WallMS:    float64(r.Wall) / float64(time.Millisecond),
+			Completed: t.done, Total: t.total,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			EtaMS:     float64(eta) / float64(time.Millisecond),
+		}
+		if r.Err != nil {
+			rec.Err = r.Err.Error()
+		}
+		if blob, err := json.Marshal(rec); err == nil {
+			t.JSONL.Write(append(blob, '\n'))
+		}
+	}
+}
+
+// etaLocked estimates time to finish the batch: mean executed-job
+// wall-clock times the remaining job count, divided across the
+// workers. Cache hits are treated as free, which biases the estimate
+// pessimistic early in a warm-cache run and exact in a cold one.
+func (t *Telemetry) etaLocked() time.Duration {
+	remaining := t.total - t.done
+	if remaining <= 0 || t.executed == 0 {
+		return 0
+	}
+	mean := t.execWall / time.Duration(t.executed)
+	par := t.parallelism
+	if par <= 0 {
+		par = 1
+	}
+	return mean * time.Duration(remaining) / time.Duration(par)
+}
+
+// warnf surfaces non-fatal engine conditions (cache write failures).
+func (t *Telemetry) warnf(format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.Out != nil {
+		fmt.Fprintf(t.Out, "warning: "+format+"\n", args...)
+	}
+}
+
+// Summary renders the totals seen so far, for end-of-run reporting.
+func (t *Telemetry) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Duration(0)
+	if !t.start.IsZero() {
+		elapsed = t.now().Sub(t.start)
+	}
+	return fmt.Sprintf("%d jobs: %d executed (%s sim time), %d cached, %d failed in %s",
+		t.done, t.executed, t.execWall.Round(time.Millisecond), t.cached, t.failed,
+		elapsed.Round(time.Millisecond))
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -60,6 +61,24 @@ type (
 	Figure = experiments.Figure
 	// Runner executes figures with memoised simulations.
 	Runner = experiments.Runner
+
+	// ExecJob is one keyed simulation for the parallel engine.
+	ExecJob = runner.Job
+	// ExecResult is one job's outcome.
+	ExecResult = runner.JobResult
+	// ExecOptions configures a Pool (workers, timeout, cache,
+	// telemetry).
+	ExecOptions = runner.Options
+	// Pool is the parallel experiment-execution engine: it dedupes a
+	// batch of keyed configs, fans them out across workers, and
+	// returns results in deterministic key order.
+	Pool = runner.Pool
+	// DiskCache persists simulation results across processes, keyed
+	// by a stable hash of the serialized configuration.
+	DiskCache = runner.DiskCache
+	// Telemetry reports batch progress (completed/total, ETA,
+	// runs.jsonl).
+	Telemetry = runner.Telemetry
 )
 
 // Scheduler kinds.
@@ -138,8 +157,33 @@ func QuickScale() Scale { return experiments.QuickScale() }
 // FullScale sizes experiments for the EXPERIMENTS.md numbers.
 func FullScale() Scale { return experiments.FullScale() }
 
-// NewRunner builds an experiment runner at the given scale.
+// NewRunner builds a serial experiment runner at the given scale.
 func NewRunner(s Scale) *Runner { return experiments.NewRunner(s) }
+
+// NewPool builds a parallel execution engine. A zero Options value
+// gives GOMAXPROCS workers with no timeout, persistence or telemetry.
+func NewPool(opts ExecOptions) *Pool { return runner.New(opts) }
+
+// NewDiskCache opens (creating if needed) a persistent result cache
+// rooted at dir. Entries are keyed by ConfigKey and namespaced by the
+// engine's schema version.
+func NewDiskCache(dir string) (*DiskCache, error) { return runner.NewDiskCache(dir) }
+
+// ConfigKey returns the stable content hash naming cfg in the
+// persistent cache.
+func ConfigKey(cfg Config) (string, error) { return runner.ConfigKey(cfg) }
+
+// NewParallelRunner builds an experiment runner whose simulations
+// execute through the given pool: each figure enumerates its config
+// set up front, the pool runs the deduplicated batch across its
+// workers (skipping sims its cache already holds), and the figure is
+// evaluated from the populated results. Reports are byte-identical to
+// a serial run.
+func NewParallelRunner(s Scale, pool *Pool) *Runner {
+	r := experiments.NewRunner(s)
+	r.Engine = pool
+	return r
+}
 
 // Claim re-exports the experiment claims machinery: the paper's
 // qualitative assertions, checkable against regenerated figures.
