@@ -193,6 +193,30 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if cfg.Records < 100 {
 		cfg.Records = 100
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cfg.Records)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkHotPathTempo is the per-record hot-path microbenchmark the
+// state-machine coordinator is measured by: one op is one trace record
+// through the full TEMPO pipeline (TLB, walker, caches, DRAM, prefetch
+// engine), so ns/op is the per-record cost and allocs/op is
+// allocations per record (~0 in steady state; system construction
+// amortises across b.N). Run with -benchmem; scripts/bench.sh captures
+// the result in BENCH_hotpath.json.
+func BenchmarkHotPathTempo(b *testing.B) {
+	cfg := DefaultConfig("xsbench")
+	cfg.Workloads[0].Footprint = 256 << 20
+	cfg.Tempo = DefaultTempo()
+	cfg.Records = b.N
+	if cfg.Records < 100 {
+		cfg.Records = 100
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := Run(cfg); err != nil {
 		b.Fatal(err)

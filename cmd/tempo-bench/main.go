@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,8 +47,37 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persistent result cache directory (empty: in-memory only)")
 		timeout   = flag.Duration("timeout", 0, "per-simulation timeout (0: none)")
 		runsLog   = flag.String("runs", "", "write per-job runs.jsonl here (default: <cache-dir>/runs.jsonl)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fatal("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var scale tempo.Scale
 	switch *scaleName {

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	tempo "repro"
@@ -119,6 +121,8 @@ func main() {
 	flag.IntVar(&o.subRows, "sub-rows", 0, "sub-row buffers per bank (0 = single row buffer)")
 	flag.IntVar(&o.pfSubRows, "prefetch-sub-rows", 0, "sub-rows dedicated to TEMPO prefetches")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	if list {
@@ -130,11 +134,50 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	stopCPU := startCPUProfile(*cpuprofile)
 	res, err := tempo.Run(cfg)
+	stopCPU()
 	if err != nil {
 		fatal("%v", err)
 	}
+	writeMemProfile(*memprofile)
 	printResult(res, cfg)
+}
+
+// startCPUProfile begins CPU profiling into path (no-op when empty) and
+// returns the stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a post-GC heap profile to path (no-op when
+// empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal("memprofile: %v", err)
+	}
 }
 
 func printResult(res *tempo.Result, cfg tempo.Config) {

@@ -41,7 +41,9 @@ type AccessResult struct {
 	Provenance Provenance
 	// Writebacks are the dirty LLC victims this access pushed toward
 	// DRAM: dirty evictions cascade L1→L2→LLC, and lines falling out
-	// of the LLC become memory write transactions.
+	// of the LLC become memory write transactions. The slice aliases a
+	// per-Hierarchy scratch buffer: it is valid only until the next
+	// Access on the same hierarchy and must not be retained.
 	Writebacks []mem.PAddr
 }
 
@@ -66,6 +68,13 @@ type Hierarchy struct {
 	L1, L2 *Cache
 	LLC    *Cache
 	st     *stats.Stats
+
+	// wbAccess and wbFill are reusable writeback scratch buffers —
+	// demand accesses and DRAM fills each produce at most a handful of
+	// victims, and allocating a slice per access dominated the per-
+	// record allocation count. Two buffers because a blocked access
+	// (miss → DRAM → FillFromDRAM) has both paths live at once.
+	wbAccess, wbFill []mem.PAddr
 }
 
 // NewHierarchy builds private L1/L2 and a private LLC.
@@ -94,13 +103,16 @@ func (h *Hierarchy) Access(p mem.PAddr, write bool) AccessResult {
 	h.st.L1Misses++
 	if hit, _ := h.L2.Access(p, write); hit {
 		h.st.L2Hits++
+		h.wbAccess = h.fillL1(h.wbAccess[:0], p, write)
 		return AccessResult{Served: ServedL2, Latency: h.L2.Latency(),
-			Writebacks: h.fillL1(p, write)}
+			Writebacks: h.wbAccess}
 	}
 	h.st.L2Misses++
 	if hit, prov := h.LLC.Access(p, write); hit {
 		h.st.LLCHits++
-		wb := append(h.fillL2(p, false), h.fillL1(p, write)...)
+		wb := h.fillL2(h.wbAccess[:0], p, false)
+		wb = h.fillL1(wb, p, write)
+		h.wbAccess = wb
 		return AccessResult{
 			Served: ServedLLC, Latency: h.LLC.Latency(),
 			Provenance: prov, Writebacks: wb,
@@ -111,23 +123,28 @@ func (h *Hierarchy) Access(p mem.PAddr, write bool) AccessResult {
 }
 
 // FillFromDRAM installs a line that just arrived from memory into all
-// three levels and returns the dirty LLC victims bound for DRAM.
+// three levels and returns the dirty LLC victims bound for DRAM. The
+// returned slice aliases a per-Hierarchy scratch buffer: it is valid
+// only until the next fill and must not be retained.
 func (h *Hierarchy) FillFromDRAM(p mem.PAddr, write bool) []mem.PAddr {
-	wb := h.fillLLC(p, FillDemand, false)
-	wb = append(wb, h.fillL2(p, false)...)
-	wb = append(wb, h.fillL1(p, write)...)
+	wb := h.fillLLC(h.wbFill[:0], p, FillDemand, false)
+	wb = h.fillL2(wb, p, false)
+	wb = h.fillL1(wb, p, write)
+	h.wbFill = wb
 	return wb
 }
 
 // FillPrefetch installs a prefetched line into the LLC only — exactly
 // what TEMPO's memory controller does (the replay then finds it there).
 // IMP prefetches also land here with their own provenance. It returns
-// any dirty victim bound for DRAM.
+// any dirty victim bound for DRAM; the slice aliases the same scratch
+// buffer as FillFromDRAM.
 func (h *Hierarchy) FillPrefetch(p mem.PAddr, prov Provenance) []mem.PAddr {
 	if h.LLC.Contains(p) {
 		return nil
 	}
-	return h.fillLLC(p, prov, false)
+	h.wbFill = h.fillLLC(h.wbFill[:0], p, prov, false)
+	return h.wbFill
 }
 
 // PeekLLC reports whether the line is resident in the LLC without
@@ -135,25 +152,25 @@ func (h *Hierarchy) FillPrefetch(p mem.PAddr, prov Provenance) []mem.PAddr {
 func (h *Hierarchy) PeekLLC(p mem.PAddr) bool { return h.LLC.Contains(p) }
 
 // fillL1/fillL2/fillLLC install a line at one level, cascading any
-// dirty victim into the level below; dirty LLC victims are returned
-// as DRAM-bound writeback addresses.
-func (h *Hierarchy) fillL1(p mem.PAddr, dirty bool) []mem.PAddr {
+// dirty victim into the level below; dirty LLC victims are appended to
+// wb and the extended slice returned.
+func (h *Hierarchy) fillL1(wb []mem.PAddr, p mem.PAddr, dirty bool) []mem.PAddr {
 	if v, evicted := h.L1.Fill(p, FillDemand, dirty); evicted && v.Dirty {
-		return h.fillL2(v.Addr, true)
+		return h.fillL2(wb, v.Addr, true)
 	}
-	return nil
+	return wb
 }
 
-func (h *Hierarchy) fillL2(p mem.PAddr, dirty bool) []mem.PAddr {
+func (h *Hierarchy) fillL2(wb []mem.PAddr, p mem.PAddr, dirty bool) []mem.PAddr {
 	if v, evicted := h.L2.Fill(p, FillDemand, dirty); evicted && v.Dirty {
-		return h.fillLLC(v.Addr, FillDemand, true)
+		return h.fillLLC(wb, v.Addr, FillDemand, true)
 	}
-	return nil
+	return wb
 }
 
-func (h *Hierarchy) fillLLC(p mem.PAddr, prov Provenance, dirty bool) []mem.PAddr {
+func (h *Hierarchy) fillLLC(wb []mem.PAddr, p mem.PAddr, prov Provenance, dirty bool) []mem.PAddr {
 	if v, evicted := h.LLC.Fill(p, prov, dirty); evicted && v.Dirty {
-		return []mem.PAddr{v.Addr}
+		return append(wb, v.Addr)
 	}
-	return nil
+	return wb
 }

@@ -46,6 +46,11 @@ func (m MultiReader) ReadPTE(p mem.PAddr) (vm.PTE, int, bool) {
 type Engine struct {
 	reader PTEReader
 	st     *stats.Stats
+
+	// Pool, when set, supplies recycled prefetch requests (wired to the
+	// owning controller's pool by the simulator) so the engine emits no
+	// steady-state allocations. Nil falls back to fresh requests.
+	Pool *dram.Pool
 }
 
 // NewEngine builds the engine. st is the memory-system stats sink.
@@ -90,9 +95,12 @@ func (e *Engine) OnLeafPTServed(r *dram.Request, completion uint64) *dram.Reques
 	offset := (r.ReplayLine << mem.LineShift) & (size - 1)
 	target := pte.Frame.Addr() + mem.PAddr(offset)
 	e.st.TempoPrefetches++
-	return &dram.Request{
-		Addr:    target.Line(),
-		CoreID:  r.CoreID,
-		Enqueue: completion,
+	pf := &dram.Request{}
+	if e.Pool != nil {
+		pf = e.Pool.Get()
 	}
+	pf.Addr = target.Line()
+	pf.CoreID = r.CoreID
+	pf.Enqueue = completion
+	return pf
 }

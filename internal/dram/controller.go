@@ -67,6 +67,14 @@ type Controller struct {
 	// frontier is the latest issue time seen — the controller's
 	// notion of "now" for scheduler aging and grace periods.
 	frontier uint64
+	// pool recycles transactions; eligible is DrainUpTo's reusable
+	// filter scratch. Both keep the steady-state serve path free of
+	// allocations.
+	pool     Pool
+	eligible []*Request
+	// demandSub/prefetchSub cache the sub-row index sets handed to
+	// banks when no SubAlloc policy is installed.
+	demandSub, prefetchSub []int
 	// nextRefresh is the per-channel next auto-refresh deadline.
 	nextRefresh []uint64
 	// acts is a per-channel ring of the last four ACT issue times,
@@ -109,6 +117,11 @@ func NewController(cfg Config, sched Scheduler, st *stats.Stats) *Controller {
 
 // QueueLen returns the number of pending transactions.
 func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Pool returns the controller's request pool. Hot-path callers (cores,
+// the TEMPO engine, the LLC fill path) draw their transactions from it
+// so steady-state accesses allocate nothing.
+func (c *Controller) Pool() *Pool { return &c.pool }
 
 // Served returns the number of completed transactions.
 func (c *Controller) Served() uint64 { return c.served }
@@ -214,6 +227,16 @@ func (c *Controller) executeOne() *Request {
 	if c.SubAlloc != nil {
 		c.SubAlloc.OnServed(r, outcome)
 	}
+	// Pool lifetime: a served prefetch drops the reference it held on
+	// its paired leaf-PT request (the pointer stays set — schedulers
+	// and tests may still compare it, but nobody dereferences a
+	// completed pair). Fire-and-forget transactions release themselves.
+	if r.Prefetch && r.PairedWith != nil {
+		c.pool.Release(r.PairedWith)
+	}
+	if r.AutoRelease {
+		c.pool.Release(r)
+	}
 	return r
 }
 
@@ -230,6 +253,8 @@ func (c *Controller) onLeafPT(r *Request, loc Location, bank *Bank) {
 	}
 	pf.Prefetch = true
 	pf.PairedWith = r
+	r.Ref() // the queued prefetch owns its pair until it is served
+	pf.AutoRelease = true
 	pf.Category = stats.DRAMPrefetch
 	if pf.Enqueue < r.Complete+c.cfg.PTRowWait {
 		pf.Enqueue = r.Complete + c.cfg.PTRowWait
@@ -248,10 +273,15 @@ func (c *Controller) allowedSubRows(r *Request) []int {
 	if g.PrefetchSubRows <= 0 || g.PrefetchSubRows >= g.SubRows {
 		return nil
 	}
-	if r.Prefetch {
-		return seq(0, g.PrefetchSubRows)
+	// The two partitions are fixed by geometry; build them once.
+	if c.prefetchSub == nil {
+		c.prefetchSub = seq(0, g.PrefetchSubRows)
+		c.demandSub = seq(g.PrefetchSubRows, g.SubRows)
 	}
-	return seq(g.PrefetchSubRows, g.SubRows)
+	if r.Prefetch {
+		return c.prefetchSub
+	}
+	return c.demandSub
 }
 
 // RunUntil executes queued transactions, in scheduler order, until r
@@ -271,22 +301,19 @@ func (c *Controller) RunUntil(r *Request) uint64 {
 // computes). Later-enqueued transactions stay queued.
 func (c *Controller) DrainUpTo(t uint64) {
 	for {
-		any := false
-		for _, r := range c.queue {
-			if r.Enqueue <= t {
-				any = true
-				break
-			}
-		}
-		if !any {
-			return
-		}
-		// Let the scheduler pick among the eligible subset.
-		eligible := c.queue[:0:0]
+		// Let the scheduler pick among the eligible subset. The filter
+		// reuses one scratch slice — this runs after every walked
+		// record, so a fresh slice per round would dominate steady-state
+		// allocations.
+		eligible := c.eligible[:0]
 		for _, r := range c.queue {
 			if r.Enqueue <= t {
 				eligible = append(eligible, r)
 			}
+		}
+		c.eligible = eligible[:0]
+		if len(eligible) == 0 {
+			return
 		}
 		idx := c.sched.Pick(eligible, c.clock(), c)
 		c.executeSpecific(eligible[idx])

@@ -40,11 +40,22 @@ type Request struct {
 	// Enqueue is the cycle the request becomes schedulable.
 	Enqueue uint64
 
+	// AutoRelease marks a fire-and-forget transaction (writeback,
+	// TEMPO prefetch): the controller returns it to its pool after the
+	// serve completes and all hooks have run. Callers must not read a
+	// request they submitted with AutoRelease set.
+	AutoRelease bool
+
 	// Results, filled by the controller when the request is served.
 	Done     bool
 	Issue    uint64
 	Complete uint64
 	Outcome  stats.RowOutcome
+
+	// Pool bookkeeping (see Pool): pooled marks pool-managed requests;
+	// refs counts owners.
+	pooled bool
+	refs   int32
 }
 
 // RowPeeker lets schedulers ask about row-buffer state without

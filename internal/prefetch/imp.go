@@ -110,17 +110,24 @@ func (p *IMP) Observe(o Observation) []mem.VAddr {
 // PrefetchFor returns the prefetch targets confirmed patterns imply
 // for an index load at pc observing value.
 func (p *IMP) PrefetchFor(pc, value uint64) []mem.VAddr {
+	return p.AppendPrefetches(nil, pc, value)
+}
+
+// AppendPrefetches is PrefetchFor into a caller-owned buffer: targets
+// are appended to buf and the extended slice returned. The simulator
+// core uses it with a per-core scratch so the per-record path stays
+// allocation-free.
+func (p *IMP) AppendPrefetches(buf []mem.VAddr, pc, value uint64) []mem.VAddr {
 	p.tick++
-	var out []mem.VAddr
 	if e := p.lookupTable(pc); e != nil {
 		e.lru = p.tick
 		for _, w := range e.ways {
 			target := mem.VAddr(w.base + w.coef*value)
-			out = append(out, target.Line())
+			buf = append(buf, target.Line())
 			p.Prefetches++
 		}
 	}
-	return out
+	return buf
 }
 
 // Train updates detector state from one executed event without

@@ -69,9 +69,28 @@ func New(table *vm.PageTable, mmu *tlb.MMUCache, st *stats.Stats) *Walker {
 	return &Walker{mmu: mmu, table: table, st: st, StepOverhead: 2}
 }
 
-// Walk translates v starting at cycle `at`, issuing PTE reads through
-// port. It updates MMU caches and the walk counters in stats.
-func (w *Walker) Walk(v mem.VAddr, at uint64, port MemPort) Result {
+// WalkState is one in-progress hardware walk, resumable between PTE
+// references. It exists so a blocking core can park mid-walk on a DRAM
+// read without holding a goroutine stack: the core drives the loop —
+// Begin, then alternating Next (which step to reference) and Feed (the
+// memory system's answer) until Next reports no more steps, then
+// Finish. A WalkState is plain data and is embedded in the core, so a
+// steady-state walk allocates nothing.
+type WalkState struct {
+	w          *Walker
+	v          mem.VAddr
+	steps      [mem.Levels]vm.WalkStep
+	n          int // steps returned by the software walk
+	i          int // index of the step handed out by Next
+	ok         bool
+	startLevel int
+	replayLine uint64
+	res        Result
+}
+
+// Begin starts a walk of v, performing the software table walk and the
+// MMU-cache lookup (and their stats updates) exactly as Walk does.
+func (w *Walker) Begin(ws *WalkState, v mem.VAddr) {
 	w.st.WalksStarted++
 	steps, n, ok := w.table.Walk(v)
 
@@ -83,42 +102,93 @@ func (w *Walker) Walk(v mem.VAddr, at uint64, port MemPort) Result {
 	} else {
 		w.st.MMUCacheMisses++
 	}
+	*ws = WalkState{
+		w: w, v: v, steps: steps, n: n, ok: ok,
+		startLevel: startLevel, replayLine: ReplayLineOf(v),
+		res: Result{OK: ok},
+	}
+}
 
-	res := Result{OK: ok}
-	replayLine := ReplayLineOf(v)
-	for i := 0; i < n; i++ {
-		step := steps[i]
-		if step.Level > startLevel {
+// Next returns the next PTE reference the hardware issues, skipping
+// levels covered by the MMU caches. Every returned step must be
+// answered with Feed before Next is called again.
+func (ws *WalkState) Next() (vm.WalkStep, bool) {
+	for ws.i < ws.n {
+		step := ws.steps[ws.i]
+		if step.Level > ws.startLevel {
+			ws.i++
 			continue
 		}
-		res.Refs++
-		lat, fromDRAM := port.ReadPTE(step.PTEAddr, step.Level, step.IsLeaf, replayLine, at+res.Latency)
-		res.Latency += lat + w.StepOverhead
-		if fromDRAM {
-			res.DRAMRefs++
-			if step.IsLeaf {
-				res.LeafFromDRAM = true
-			}
-		}
-		// Cache the non-leaf entry we just read (levels 4..2 point at
-		// the next table page).
-		if !step.IsLeaf && step.Level >= 2 {
-			if pte, _, found := w.table.ReadPTE(step.PTEAddr); found && pte.Present && !pte.Leaf {
-				w.mmu.Insert(v, step.Level, pte.Frame)
-			}
+		ws.res.Refs++
+		return step, true
+	}
+	return vm.WalkStep{}, false
+}
+
+// Latency returns the serialised walk latency accumulated so far; the
+// current reference starts at walk-begin time plus this.
+func (ws *WalkState) Latency() uint64 { return ws.res.Latency }
+
+// ReplayLine returns the line-in-page bits the walker appends to the
+// leaf reference.
+func (ws *WalkState) ReplayLine() uint64 { return ws.replayLine }
+
+// Feed records the memory system's answer for the step Next returned:
+// accumulates latency, tracks DRAM provenance, and refills the MMU
+// caches from non-leaf entries.
+func (ws *WalkState) Feed(latency uint64, fromDRAM bool) {
+	w := ws.w
+	step := ws.steps[ws.i]
+	ws.i++
+	ws.res.Latency += latency + w.StepOverhead
+	if fromDRAM {
+		ws.res.DRAMRefs++
+		if step.IsLeaf {
+			ws.res.LeafFromDRAM = true
 		}
 	}
-	if !ok {
+	// Cache the non-leaf entry we just read (levels 4..2 point at
+	// the next table page).
+	if !step.IsLeaf && step.Level >= 2 {
+		if pte, _, found := w.table.ReadPTE(step.PTEAddr); found && pte.Present && !pte.Leaf {
+			w.mmu.Insert(ws.v, step.Level, pte.Frame)
+		}
+	}
+}
+
+// Finish completes the walk: resolves the translation and updates the
+// walk-outcome counters.
+func (ws *WalkState) Finish() Result {
+	res := ws.res
+	if !ws.ok {
 		return res
 	}
-	tr, found := w.table.Lookup(v)
+	tr, found := ws.w.table.Lookup(ws.v)
 	if !found {
 		res.OK = false
 		return res
 	}
 	res.Translation = tr
 	if res.LeafFromDRAM {
-		w.st.WalkDRAMTouched++
+		ws.w.st.WalkDRAMTouched++
 	}
 	return res
+}
+
+// Walk translates v starting at cycle `at`, issuing PTE reads through
+// port. It updates MMU caches and the walk counters in stats. It is
+// the synchronous convenience over Begin/Next/Feed/Finish, used for
+// walks that never park the core (background prefetcher walks, tests).
+func (w *Walker) Walk(v mem.VAddr, at uint64, port MemPort) Result {
+	var ws WalkState
+	w.Begin(&ws, v)
+	for {
+		step, more := ws.Next()
+		if !more {
+			break
+		}
+		lat, fromDRAM := port.ReadPTE(step.PTEAddr, step.Level, step.IsLeaf, ws.replayLine, at+ws.res.Latency)
+		ws.Feed(lat, fromDRAM)
+	}
+	return ws.Finish()
 }

@@ -14,28 +14,48 @@ import (
 	"repro/internal/vm"
 )
 
-// msgKind is what a core reports when it yields to the coordinator.
-type msgKind uint8
+// coreStatus is what a core reports when it yields to the coordinator.
+type coreStatus uint8
 
 const (
-	// msgStep: the core finished one trace record and can take more.
-	msgStep msgKind = iota
-	// msgWait: the core submitted the attached DRAM request and is
+	// coreStep: the core finished one trace record and can take more.
+	coreStep coreStatus = iota
+	// coreWait: the core submitted the returned DRAM request and is
 	// blocked until it completes.
-	msgWait
-	// msgDone: the core consumed its whole trace.
-	msgDone
+	coreWait
+	// coreDone: the core consumed its whole trace (err set on failure).
+	coreDone
 )
 
-type coreMsg struct {
-	kind msgKind
-	req  *dram.Request
-}
+// corePhase is the explicit resume point of the core state machine.
+// The core used to run as a goroutine-coroutine parked on channels;
+// the phases are exactly the old yield points, made explicit so the
+// coordinator can resume a core with a plain method call — zero
+// goroutines, zero channel operations, zero scheduler involvement on
+// the per-record path.
+type corePhase uint8
+
+const (
+	// phRecord: fetch and start the next trace record.
+	phRecord corePhase = iota
+	// phWalk: issue the next demand page-walk PTE reference.
+	phWalk
+	// phWalkResume: a walk PTE read just returned from DRAM.
+	phWalkResume
+	// phAccess: the translated demand reference probes the caches.
+	phAccess
+	// phAccessResume: the demand reference just returned from DRAM.
+	phAccessResume
+	// phTail: post-access bookkeeping, then back to phRecord.
+	phTail
+)
 
 // Core replays one trace stream through private TLBs, walker, L1/L2
-// and the shared LLC + DRAM. It runs as a coroutine under the system
-// coordinator: strictly one core executes at a time, handing off via
-// channels, so runs are deterministic.
+// and the shared LLC + DRAM. It is an inline cooperative state
+// machine: the coordinator calls step, which runs until the record
+// completes (coreStep) or the core must block on a DRAM request
+// (coreWait), recording its resume point in phase. Strictly one core
+// executes at a time, so runs are deterministic.
 type Core struct {
 	id     int
 	sys    *System
@@ -46,184 +66,277 @@ type Core struct {
 	imp    *prefetch.IMP
 	stream trace.Stream
 	st     *stats.Stats
+	pool   *dram.Pool
 
-	// lookahead models IMP's index-stream lead: record n+Distance is
-	// visible to the prefetcher while record n executes.
+	// lookahead is a fixed-capacity ring buffer modelling IMP's
+	// index-stream lead: record n+Distance is visible to the
+	// prefetcher while record n executes.
 	lookahead []trace.Record
+	laHead    int
+	laLen     int
+	// pfBuf is impIssue's reusable prefetch-target scratch.
+	pfBuf []mem.VAddr
 
 	now     uint64
 	records int
+	ran     int // records executed so far
 
-	toCoord chan coreMsg
-	resume  chan struct{}
-	err     error
+	// State-machine registers: the values live across a coreWait park.
+	phase      corePhase
+	rec        trace.Record
+	tr         vm.Translation
+	walked     bool
+	leafDRAM   bool
+	ws         ptwalk.WalkState
+	waitReq    *dram.Request // in-flight request this core is parked on
+	waitAt     uint64        // cycle the parked walk reference started
+	waitLat    uint64        // cache latency preceding the parked DRAM access
+	ar         cache.AccessResult
+	p          mem.PAddr
+	write      bool
+	servedDRAM bool
+	outcome    stats.RowOutcome
+
+	err error
 }
 
-// run is the core goroutine body.
-func (c *Core) run() {
+// step resumes the core and runs it to its next yield point: one
+// finished trace record (coreStep), a submitted DRAM request the core
+// must wait on (coreWait, request returned), or end of trace
+// (coreDone). The coordinator must not call step again on a waiting
+// core until the returned request completes.
+func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.err = fmt.Errorf("core %d: %v", c.id, r)
-			c.toCoord <- coreMsg{kind: msgDone}
+			status, waitOn = coreDone, nil
 		}
 	}()
-	for i := 0; i < c.records; i++ {
-		rec, ok := c.nextRecord()
-		if !ok {
-			break
+	m := &c.sys.machine
+	for {
+		switch c.phase {
+		case phRecord:
+			if c.ran >= c.records {
+				return coreDone, nil
+			}
+			rec, ok := c.nextRecord()
+			if !ok {
+				return coreDone, nil
+			}
+			c.ran++
+			c.rec = rec
+			c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+			c.st.Instructions += uint64(rec.Gap) + 1
+			c.st.MemRefs++
+
+			// Demand paging: ensure the page is resident. Fault cost is
+			// excluded (traces model a warmed system; DESIGN.md).
+			if _, _, err := c.as.Touch(rec.VAddr); err != nil {
+				panic(fmt.Sprintf("touch %#x: %v", uint64(rec.VAddr), err))
+			}
+
+			// IMP: issue prefetches from the lookahead edge.
+			if c.imp != nil {
+				c.impIssue()
+			}
+
+			tr, lvl := c.tlb.Lookup(rec.VAddr)
+			c.tr = tr
+			c.walked, c.leafDRAM = false, false
+			switch lvl {
+			case tlb.HitL1:
+				c.st.TLBHits++
+				c.phase = phAccess
+			case tlb.HitL2:
+				c.st.TLBHits++
+				c.now += m.L2TLBPenalty
+				c.phase = phAccess
+			case tlb.Miss:
+				c.st.TLBMisses++
+				c.walker.Begin(&c.ws, rec.VAddr)
+				c.phase = phWalk
+			}
+
+		case phWalk:
+			// Demand walk: PT reads go through the cache hierarchy and,
+			// on misses, park the core until DRAM answers. The walk's
+			// own timeline accumulates in ws; c.now advances only when
+			// the walk completes.
+			wstep, more := c.ws.Next()
+			if !more {
+				res := c.ws.Finish()
+				if !res.OK {
+					panic(fmt.Sprintf("walk failed for touched address %#x", uint64(c.rec.VAddr)))
+				}
+				c.now += res.Latency
+				c.tr = res.Translation
+				c.tlb.Insert(c.tr)
+				c.walked, c.leafDRAM = true, res.LeafFromDRAM
+				// TLB fill + pipeline replay before the memory reference
+				// is re-executed: TEMPO's slack window.
+				c.now += m.ReplayRestart
+				c.phase = phAccess
+				continue
+			}
+			at := c.now + c.ws.Latency()
+			c.sys.mem.ApplyFills(at)
+			ar := c.hier.Access(wstep.PTEAddr, false)
+			if ar.Served != cache.ServedDRAM {
+				c.ws.Feed(ar.Latency, false)
+				continue
+			}
+			req := c.pool.Get()
+			req.Addr = wstep.PTEAddr
+			req.Category = stats.DRAMPTW
+			req.CoreID = c.id
+			req.IsLeafPT = wstep.IsLeaf
+			req.ReplayLine = c.ws.ReplayLine()
+			req.Enqueue = at + ar.Latency + m.Interconnect
+			c.sys.ctrl.Submit(req)
+			c.waitReq, c.waitAt, c.waitLat = req, at, ar.Latency
+			c.phase = phWalkResume
+			return coreWait, req
+
+		case phWalkResume:
+			req := c.waitReq
+			if !req.Done {
+				panic("core resumed before its request completed")
+			}
+			doneAt := req.Complete + m.Interconnect
+			c.submitWritebacks(c.hier.FillFromDRAM(req.Addr, false))
+			c.st.PTWDRAMCycles += doneAt - (c.waitAt + c.waitLat)
+			c.waitReq = nil
+			c.pool.Release(req)
+			c.ws.Feed(doneAt-c.waitAt, true)
+			c.phase = phWalk
+
+		case phAccess:
+			c.p = c.tr.Translate(c.rec.VAddr)
+			c.write = c.rec.Kind == trace.Store
+			if c.walked {
+				// Give queued TEMPO prefetches their chance to run
+				// inside the slack window before the replay probes the
+				// LLC.
+				c.sys.ctrl.DrainUpTo(c.now)
+			}
+			// Prefetched lines are usable if filled by the time the
+			// lookup reaches the LLC.
+			c.sys.mem.ApplyFills(c.now + m.Caches.LLC.LatencyC)
+			c.ar = c.hier.Access(c.p, c.write)
+			if c.ar.Served != cache.ServedDRAM {
+				c.now += c.ar.Latency
+				c.servedDRAM = false
+				c.outcome = stats.RowHit // unused when !servedDRAM
+				c.phase = phTail
+				continue
+			}
+			cat := stats.DRAMOther
+			if c.walked {
+				cat = stats.DRAMReplay
+			}
+			req := c.pool.Get()
+			req.Addr = c.p.Line()
+			req.Category = cat
+			req.CoreID = c.id
+			req.Enqueue = c.now + c.ar.Latency + m.Interconnect
+			c.sys.ctrl.Submit(req)
+			c.waitReq = req
+			c.phase = phAccessResume
+			return coreWait, req
+
+		case phAccessResume:
+			req := c.waitReq
+			if !req.Done {
+				panic("core resumed before its request completed")
+			}
+			doneAt := req.Complete + m.Interconnect
+			dramPortion := doneAt - (c.now + c.ar.Latency)
+			if c.walked {
+				// Post-walk replays serialise: charge the full DRAM
+				// time.
+				c.st.ReplayDRAMCycles += dramPortion
+				c.now = doneAt
+			} else {
+				// Independent misses partially overlap with the
+				// out-of-order window.
+				charged := uint64(float64(dramPortion) * m.OtherOverlap)
+				c.st.OtherDRAMCycles += charged
+				c.now += c.ar.Latency + charged
+			}
+			c.submitWritebacks(c.hier.FillFromDRAM(c.p, c.write))
+			c.outcome = req.Outcome
+			c.servedDRAM = true
+			c.waitReq = nil
+			c.pool.Release(req)
+			c.phase = phTail
+
+		case phTail:
+			c.submitWritebacks(c.ar.Writebacks)
+
+			// Prefetch usefulness.
+			if c.ar.Served == cache.ServedLLC {
+				switch c.ar.Provenance {
+				case cache.FillTempo:
+					c.st.TempoUseful++
+				case cache.FillIMP:
+					c.st.IMPUseful++
+				}
+			}
+
+			// Replay service classification (Figure 11) for walks whose
+			// leaf PTE came from DRAM — TEMPO's target population.
+			if c.walked && c.leafDRAM {
+				switch {
+				case !c.servedDRAM:
+					c.st.ReplayServiced[stats.ReplayLLC]++
+					if c.ar.Served == cache.ServedLLC && c.ar.Provenance == cache.FillTempo {
+						// Without TEMPO this replay would have gone to
+						// DRAM.
+						c.st.WalkDRAMThenReplayDRAM++
+					}
+				case c.outcome == stats.RowHit:
+					c.st.ReplayServiced[stats.ReplayRowBuffer]++
+					c.st.WalkDRAMThenReplayDRAM++
+				default:
+					c.st.ReplayServiced[stats.ReplayDRAMArray]++
+					c.st.WalkDRAMThenReplayDRAM++
+				}
+			}
+
+			// IMP training follows the executed stream.
+			if c.imp != nil {
+				c.imp.Train(prefetch.Observation{
+					PC: c.rec.PC, VAddr: c.rec.VAddr,
+					Value: c.rec.Value, HasValue: c.rec.HasValue,
+					Missed: c.servedDRAM,
+				})
+			}
+			c.phase = phRecord
+			return coreStep, nil
 		}
-		<-c.resume
-		c.step(rec)
-		c.toCoord <- coreMsg{kind: msgStep}
 	}
-	<-c.resume
-	c.toCoord <- coreMsg{kind: msgDone}
 }
 
-// nextRecord pulls the next record, maintaining the IMP lookahead.
+// nextRecord pulls the next record, maintaining the IMP lookahead ring.
 func (c *Core) nextRecord() (trace.Record, bool) {
 	if c.imp == nil {
 		return c.stream.Next()
 	}
-	want := prefetch.DefaultConfig().Distance + 1
-	for len(c.lookahead) < want {
+	for c.laLen < len(c.lookahead) {
 		rec, ok := c.stream.Next()
 		if !ok {
 			break
 		}
-		c.lookahead = append(c.lookahead, rec)
+		c.lookahead[(c.laHead+c.laLen)%len(c.lookahead)] = rec
+		c.laLen++
 	}
-	if len(c.lookahead) == 0 {
+	if c.laLen == 0 {
 		return trace.Record{}, false
 	}
-	rec := c.lookahead[0]
-	c.lookahead = c.lookahead[1:]
+	rec := c.lookahead[c.laHead]
+	c.laHead = (c.laHead + 1) % len(c.lookahead)
+	c.laLen--
 	return rec, true
-}
-
-// step executes one trace record to completion (blocking core model;
-// page walks serialise, demand misses stall).
-func (c *Core) step(rec trace.Record) {
-	m := &c.sys.machine
-	c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
-	c.st.Instructions += uint64(rec.Gap) + 1
-	c.st.MemRefs++
-
-	// Demand paging: ensure the page is resident. Fault cost is
-	// excluded (traces model a warmed system; DESIGN.md).
-	if _, _, err := c.as.Touch(rec.VAddr); err != nil {
-		panic(fmt.Sprintf("touch %#x: %v", uint64(rec.VAddr), err))
-	}
-
-	// IMP: issue prefetches from the lookahead edge.
-	if c.imp != nil {
-		c.impIssue()
-	}
-
-	tr, lvl := c.tlb.Lookup(rec.VAddr)
-	walked, leafDRAM := false, false
-	switch lvl {
-	case tlb.HitL1:
-		c.st.TLBHits++
-	case tlb.HitL2:
-		c.st.TLBHits++
-		c.now += m.L2TLBPenalty
-	case tlb.Miss:
-		c.st.TLBMisses++
-		res := c.walker.Walk(rec.VAddr, c.now, demandPort{c})
-		if !res.OK {
-			panic(fmt.Sprintf("walk failed for touched address %#x", uint64(rec.VAddr)))
-		}
-		c.now += res.Latency
-		tr = res.Translation
-		c.tlb.Insert(tr)
-		walked, leafDRAM = true, res.LeafFromDRAM
-		// TLB fill + pipeline replay before the memory reference is
-		// re-executed: TEMPO's slack window.
-		c.now += m.ReplayRestart
-	}
-
-	p := tr.Translate(rec.VAddr)
-	write := rec.Kind == trace.Store
-	if walked {
-		// Give queued TEMPO prefetches their chance to run inside the
-		// slack window before the replay probes the LLC.
-		c.sys.ctrl.DrainUpTo(c.now)
-	}
-	// Prefetched lines are usable if filled by the time the lookup
-	// reaches the LLC.
-	c.sys.mem.ApplyFills(c.now + m.Caches.LLC.LatencyC)
-	ar := c.hier.Access(p, write)
-
-	var outcome stats.RowOutcome
-	servedDRAM := ar.Served == cache.ServedDRAM
-	if servedDRAM {
-		cat := stats.DRAMOther
-		if walked {
-			cat = stats.DRAMReplay
-		}
-		req := &dram.Request{
-			Addr: p.Line(), Category: cat, CoreID: c.id,
-			Enqueue: c.now + ar.Latency + m.Interconnect,
-		}
-		c.submitAndWait(req)
-		doneAt := req.Complete + m.Interconnect
-		dramPortion := doneAt - (c.now + ar.Latency)
-		if walked {
-			// Post-walk replays serialise: charge the full DRAM time.
-			c.st.ReplayDRAMCycles += dramPortion
-			c.now = doneAt
-		} else {
-			// Independent misses partially overlap with the
-			// out-of-order window.
-			charged := uint64(float64(dramPortion) * m.OtherOverlap)
-			c.st.OtherDRAMCycles += charged
-			c.now += ar.Latency + charged
-		}
-		c.submitWritebacks(c.hier.FillFromDRAM(p, write))
-		outcome = req.Outcome
-	} else {
-		c.now += ar.Latency
-	}
-	c.submitWritebacks(ar.Writebacks)
-
-	// Prefetch usefulness.
-	if ar.Served == cache.ServedLLC {
-		switch ar.Provenance {
-		case cache.FillTempo:
-			c.st.TempoUseful++
-		case cache.FillIMP:
-			c.st.IMPUseful++
-		}
-	}
-
-	// Replay service classification (Figure 11) for walks whose leaf
-	// PTE came from DRAM — TEMPO's target population.
-	if walked && leafDRAM {
-		switch {
-		case !servedDRAM:
-			c.st.ReplayServiced[stats.ReplayLLC]++
-			if ar.Served == cache.ServedLLC && ar.Provenance == cache.FillTempo {
-				// Without TEMPO this replay would have gone to DRAM.
-				c.st.WalkDRAMThenReplayDRAM++
-			}
-		case outcome == stats.RowHit:
-			c.st.ReplayServiced[stats.ReplayRowBuffer]++
-			c.st.WalkDRAMThenReplayDRAM++
-		default:
-			c.st.ReplayServiced[stats.ReplayDRAMArray]++
-			c.st.WalkDRAMThenReplayDRAM++
-		}
-	}
-
-	// IMP training follows the executed stream.
-	if c.imp != nil {
-		c.imp.Train(prefetch.Observation{
-			PC: rec.PC, VAddr: rec.VAddr,
-			Value: rec.Value, HasValue: rec.HasValue,
-			Missed: servedDRAM,
-		})
-	}
 }
 
 // submitWritebacks turns dirty LLC victims into fire-and-forget DRAM
@@ -232,56 +345,24 @@ func (c *Core) step(rec trace.Record) {
 // accumulating unbounded writes.
 func (c *Core) submitWritebacks(addrs []mem.PAddr) {
 	for _, a := range addrs {
-		c.sys.ctrl.Submit(&dram.Request{
-			Addr: a.Line(), Write: true,
-			Category: stats.DRAMWriteback, CoreID: c.id,
-			Enqueue: c.now,
-		})
+		req := c.pool.Get()
+		req.Addr = a.Line()
+		req.Write = true
+		req.Category = stats.DRAMWriteback
+		req.CoreID = c.id
+		req.Enqueue = c.now
+		req.AutoRelease = true
+		c.sys.ctrl.Submit(req)
 	}
 	if c.sys.ctrl.QueueLen() > 128 {
 		c.sys.ctrl.DrainUpTo(c.now)
 	}
 }
 
-// submitAndWait queues a demand request and parks the core until the
-// coordinator reports completion.
-func (c *Core) submitAndWait(req *dram.Request) {
-	c.sys.ctrl.Submit(req)
-	c.toCoord <- coreMsg{kind: msgWait, req: req}
-	<-c.resume
-	if !req.Done {
-		panic("core resumed before its request completed")
-	}
-}
-
-// demandPort is the walker's memory path for demand walks: PT reads go
-// through the cache hierarchy and, on misses, stall the core through
-// the coordinator. DRAM time is attributed to the PTW bucket.
-type demandPort struct{ c *Core }
-
-func (p demandPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (uint64, bool) {
-	c := p.c
-	m := &c.sys.machine
-	c.sys.mem.ApplyFills(at)
-	ar := c.hier.Access(paddr, false)
-	if ar.Served != cache.ServedDRAM {
-		return ar.Latency, false
-	}
-	req := &dram.Request{
-		Addr: paddr, Category: stats.DRAMPTW, CoreID: c.id,
-		IsLeafPT: isLeaf, ReplayLine: replayLine,
-		Enqueue: at + ar.Latency + m.Interconnect,
-	}
-	c.submitAndWait(req)
-	doneAt := req.Complete + m.Interconnect
-	c.submitWritebacks(c.hier.FillFromDRAM(paddr, false))
-	c.st.PTWDRAMCycles += doneAt - (at + ar.Latency)
-	return doneAt - at, true
-}
-
 // backgroundPort serves IMP-initiated walks: same datapath and DRAM
-// traffic, but the core does not stall (the walk runs in the
-// prefetcher's shadow) and no runtime is attributed.
+// traffic as a demand walk, but the core does not stall (the walk runs
+// in the prefetcher's shadow) and no runtime is attributed, so it can
+// use the synchronous Walker.Walk instead of parking the state machine.
 type backgroundPort struct{ c *Core }
 
 func (p backgroundPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (uint64, bool) {
@@ -292,15 +373,19 @@ func (p backgroundPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayL
 	if ar.Served != cache.ServedDRAM {
 		return ar.Latency, false
 	}
-	req := &dram.Request{
-		Addr: paddr, Category: stats.DRAMPTW, CoreID: c.id,
-		IsLeafPT: isLeaf, ReplayLine: replayLine,
-		Enqueue: at + ar.Latency + m.Interconnect,
-	}
+	req := c.pool.Get()
+	req.Addr = paddr
+	req.Category = stats.DRAMPTW
+	req.CoreID = c.id
+	req.IsLeafPT = isLeaf
+	req.ReplayLine = replayLine
+	req.Enqueue = at + ar.Latency + m.Interconnect
 	c.sys.ctrl.Submit(req)
 	c.sys.ctrl.RunUntil(req)
+	lat := req.Complete + m.Interconnect - at
 	c.submitWritebacks(c.hier.FillFromDRAM(paddr, false))
-	return req.Complete + m.Interconnect - at, true
+	c.pool.Release(req)
+	return lat, true
 }
 
 // impIssue lets IMP see the newest lookahead record and performs any
@@ -308,15 +393,16 @@ func (p backgroundPort) ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayL
 // hardware behaviour on a would-be fault), walking on TLB misses in
 // the background, then fetching the line toward the LLC.
 func (c *Core) impIssue() {
-	if len(c.lookahead) == 0 {
+	if c.laLen == 0 {
 		return
 	}
-	edge := c.lookahead[len(c.lookahead)-1]
+	edge := c.lookahead[(c.laHead+c.laLen-1)%len(c.lookahead)]
 	if !edge.HasValue {
 		return
 	}
 	m := &c.sys.machine
-	for _, target := range c.imp.PrefetchFor(edge.PC, edge.Value) {
+	c.pfBuf = c.imp.AppendPrefetches(c.pfBuf[:0], edge.PC, edge.Value)
+	for _, target := range c.pfBuf {
 		if _, ok := c.as.Table().Lookup(target); !ok {
 			continue // would fault; hardware drops it
 		}
@@ -334,13 +420,15 @@ func (c *Core) impIssue() {
 		if c.hier.PeekLLC(p) {
 			continue
 		}
-		req := &dram.Request{
-			Addr: p, Category: stats.DRAMPrefetch, CoreID: c.id,
-			Enqueue: c.now + m.Interconnect,
-		}
+		req := c.pool.Get()
+		req.Addr = p
+		req.Category = stats.DRAMPrefetch
+		req.CoreID = c.id
+		req.Enqueue = c.now + m.Interconnect
 		c.sys.ctrl.Submit(req)
 		c.sys.ctrl.RunUntil(req)
 		c.sys.mem.AddPending(p, req.Complete+m.LLCFillExtra, cache.FillIMP)
+		c.pool.Release(req)
 		c.st.IMPPrefetches++
 	}
 }

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"sort"
-
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/mem"
@@ -23,6 +21,7 @@ type memSys struct {
 	llc  *cache.Cache
 	ctrl *dram.Controller
 	st   *stats.Stats
+	pool *dram.Pool
 	// tempoLLC gates the LLC half of TEMPO (false = row-buffer-only
 	// ablation).
 	tempoLLC bool
@@ -43,8 +42,19 @@ func (m *memSys) ApplyFills(now uint64) {
 	if len(m.pending) == 0 {
 		return
 	}
-	// Keep arrival order stable: fills apply oldest-first.
-	sort.SliceStable(m.pending, func(i, j int) bool { return m.pending[i].ready < m.pending[j].ready })
+	// Keep arrival order stable: fills apply oldest-first. The list is
+	// short and nearly sorted, so a stable insertion sort (same
+	// permutation sort.SliceStable would produce) runs on the hot path
+	// without the closure allocations of the sort package.
+	for i := 1; i < len(m.pending); i++ {
+		f := m.pending[i]
+		j := i - 1
+		for j >= 0 && m.pending[j].ready > f.ready {
+			m.pending[j+1] = m.pending[j]
+			j--
+		}
+		m.pending[j+1] = f
+	}
 	k := 0
 	for _, f := range m.pending {
 		if f.ready > now {
@@ -55,10 +65,13 @@ func (m *memSys) ApplyFills(now uint64) {
 		if !m.llc.Contains(f.addr) {
 			if v, evicted := m.llc.Fill(f.addr, f.prov, false); evicted && v.Dirty {
 				// The victim becomes a DRAM write transaction.
-				m.ctrl.Submit(&dram.Request{
-					Addr: v.Addr, Write: true,
-					Category: stats.DRAMWriteback, Enqueue: f.ready,
-				})
+				req := m.pool.Get()
+				req.Addr = v.Addr
+				req.Write = true
+				req.Category = stats.DRAMWriteback
+				req.Enqueue = f.ready
+				req.AutoRelease = true
+				m.ctrl.Submit(req)
 			}
 			if f.prov == cache.FillTempo {
 				m.st.TempoLLCFills++

@@ -31,7 +31,17 @@ func openTraceStream(path string) (trace.Stream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", path, err)
 	}
-	var recs []trace.Record
+	// Size the record slice once instead of append-growing through
+	// repeated reallocations: v2 traces carry an exact record count in
+	// the header; for v1 files fall back to a file-size heuristic
+	// (records encode in well under 8 bytes each, see TestCompression).
+	capHint := r.Count()
+	if capHint == 0 {
+		if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+			capHint = uint64(fi.Size()) / 8
+		}
+	}
+	recs := make([]trace.Record, 0, capHint)
 	for {
 		rec, ok := r.Next()
 		if !ok {
@@ -207,8 +217,11 @@ func New(cfg Config) (*System, error) {
 	llc := cache.New(s.machine.Caches.LLC)
 	s.mem = &memSys{llc: llc, ctrl: s.ctrl, st: s.mst, tempoLLC: cfg.Tempo.LLCPrefetch}
 
+	s.mem.pool = s.ctrl.Pool()
+
 	if cfg.Tempo.Enabled {
 		s.engine = core.NewEngine(readers, s.mst)
+		s.engine.Pool = s.ctrl.Pool()
 		s.ctrl.Observer = s.engine
 		s.ctrl.OnPrefetchDone = func(r *dram.Request) {
 			if s.mem.tempoLLC {
@@ -230,11 +243,13 @@ func New(cfg Config) (*System, error) {
 			stream:  gens[i],
 			st:      cst,
 			records: cfg.Records,
-			toCoord: make(chan coreMsg),
-			resume:  make(chan struct{}),
+			pool:    s.ctrl.Pool(),
 		}
 		if cfg.IMP {
 			c.imp = prefetch.New(prefetch.DefaultConfig())
+			// The ring models IMP's index-stream lead: Distance records
+			// plus the one executing.
+			c.lookahead = make([]trace.Record, prefetch.DefaultConfig().Distance+1)
 		}
 		s.cores = append(s.cores, c)
 	}
@@ -254,11 +269,8 @@ func (s *System) Run() (*Result, error) {
 	waitReq := make([]*dram.Request, n)
 	// clock is the coordinator's view of each core's time, used only
 	// for picking the next core to run; the cores own their real
-	// clocks and must never be written from here.
+	// clocks (c.now).
 	clock := make([]uint64, n)
-	for _, c := range s.cores {
-		go c.run()
-	}
 	for {
 		// Wake parked cores whose requests completed (possibly via
 		// another core's drain).
@@ -269,7 +281,10 @@ func (s *System) Run() (*Result, error) {
 				waitReq[i] = nil
 			}
 		}
-		// Run the ready core with the smallest clock.
+		// Resume the ready core with the smallest clock. step runs the
+		// core inline up to its next yield point; exactly one core
+		// executes at a time, preserving the deterministic interleaving
+		// of the old goroutine-per-core coordinator.
 		pick := -1
 		for i := range s.cores {
 			if status[i] == stReady && (pick < 0 || clock[i] < clock[pick]) {
@@ -278,15 +293,14 @@ func (s *System) Run() (*Result, error) {
 		}
 		if pick >= 0 {
 			c := s.cores[pick]
-			c.resume <- struct{}{}
-			msg := <-c.toCoord
-			switch msg.kind {
-			case msgStep:
-				clock[pick] = c.now // safe: core is parked on resume
-			case msgWait:
+			st, req := c.step()
+			switch st {
+			case coreStep:
+				clock[pick] = c.now
+			case coreWait:
 				status[pick] = stParked
-				waitReq[pick] = msg.req
-			case msgDone:
+				waitReq[pick] = req
+			case coreDone:
 				status[pick] = stDone
 				if c.err != nil {
 					return nil, c.err

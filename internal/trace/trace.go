@@ -51,22 +51,40 @@ type Stream interface {
 }
 
 // magic identifies the file format; the trailing byte is the version.
-var magic = [8]byte{'T', 'E', 'M', 'P', 'O', 'T', 'R', 1}
+// Version 1 is the original header (records follow immediately);
+// version 2 inserts a fixed 8-byte little-endian record count after
+// the magic (0 = unknown) so readers can preallocate. Readers accept
+// both; writers emit version 2.
+var (
+	magicV1 = [8]byte{'T', 'E', 'M', 'P', 'O', 'T', 'R', 1}
+	magicV2 = [8]byte{'T', 'E', 'M', 'P', 'O', 'T', 'R', 2}
+)
+
+// countOffset is where the v2 record count lives in the file.
+const countOffset = int64(len(magicV2))
 
 // Writer encodes records to an io.Writer.
 type Writer struct {
-	w    *bufio.Writer
-	prev Record
+	raw   io.Writer
+	w     *bufio.Writer
+	prev  Record
+	count uint64
 }
 
 // NewWriter writes the header and returns a Writer. Call Flush when
-// done.
+// done. When w is also an io.WriteSeeker (a file), Flush patches the
+// header's record count so readers can preallocate; otherwise the
+// count field stays 0 (unknown), which readers tolerate.
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	var zero [8]byte // count placeholder, patched on Flush
+	if _, err := bw.Write(zero[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{raw: w, w: bw}, nil
 }
 
 func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
@@ -93,34 +111,74 @@ func (w *Writer) Write(r Record) error {
 		return err
 	}
 	w.prev = r
+	w.count++
 	return nil
 }
 
-// Flush flushes buffered output.
-func (w *Writer) Flush() error { return w.w.Flush() }
+// Flush flushes buffered output and, when the underlying writer is
+// seekable, patches the header's record count in place.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	ws, ok := w.raw.(io.WriteSeeker)
+	if !ok {
+		return nil
+	}
+	end, err := ws.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	if _, err := ws.Seek(countOffset, io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.count)
+	if _, err := ws.Write(cnt[:]); err != nil {
+		return err
+	}
+	_, err = ws.Seek(end, io.SeekStart)
+	return err
+}
 
 // Reader decodes a trace file. It implements Stream.
 type Reader struct {
-	r    *bufio.Reader
-	prev Record
-	err  error
+	r     *bufio.Reader
+	prev  Record
+	err   error
+	count uint64
 }
 
 // ErrBadMagic marks a non-trace or wrong-version file.
 var ErrBadMagic = errors.New("trace: bad magic or version")
 
-// NewReader validates the header and returns a Reader.
+// NewReader validates the header and returns a Reader. Both format
+// versions are accepted.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if hdr != magic {
+	switch hdr {
+	case magicV1:
+		return &Reader{r: br}, nil
+	case magicV2:
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record count: %w", err)
+		}
+		return &Reader{r: br, count: binary.LittleEndian.Uint64(cnt[:])}, nil
+	default:
 		return nil, ErrBadMagic
 	}
-	return &Reader{r: br}, nil
 }
+
+// Count returns the number of records the header promises, or 0 when
+// unknown (v1 files, or v2 written through a non-seekable writer).
+// Callers use it as a preallocation hint; decoding remains the source
+// of truth.
+func (r *Reader) Count() uint64 { return r.count }
 
 // Next implements Stream.
 func (r *Reader) Next() (Record, bool) {

@@ -50,6 +50,43 @@ type node struct {
 	entries [mem.EntriesPerTable]PTE
 }
 
+// frameIndexChunkBits sizes the chunks of the dense frame index: each
+// chunk covers 2^12 consecutive frames (16MB of simulated memory).
+const frameIndexChunkBits = 12
+
+// frameIndex maps a physical frame number to the page-table page it
+// holds, if any. It is a two-level dense array rather than a hash map:
+// the lookup sits on the simulator's per-access hot path (every
+// hardware walk step and every TEMPO engine PTE read goes through it),
+// and two bounds-checked indexings beat hashing. Chunks materialise
+// lazily, so sparse table frames in a large physical space stay cheap.
+type frameIndex struct {
+	chunks [][]*node
+}
+
+func (ix *frameIndex) get(f mem.Frame) *node {
+	hi := uint64(f) >> frameIndexChunkBits
+	if hi >= uint64(len(ix.chunks)) {
+		return nil
+	}
+	chunk := ix.chunks[hi]
+	if chunk == nil {
+		return nil
+	}
+	return chunk[uint64(f)&(1<<frameIndexChunkBits-1)]
+}
+
+func (ix *frameIndex) put(f mem.Frame, n *node) {
+	hi := uint64(f) >> frameIndexChunkBits
+	for hi >= uint64(len(ix.chunks)) {
+		ix.chunks = append(ix.chunks, nil)
+	}
+	if ix.chunks[hi] == nil {
+		ix.chunks[hi] = make([]*node, 1<<frameIndexChunkBits)
+	}
+	ix.chunks[hi][uint64(f)&(1<<frameIndexChunkBits-1)] = n
+}
+
 // PageTable is an x86-64 style 4-level radix page table materialised
 // in simulated physical memory: every table page occupies a real frame
 // from the system's buddy allocator, so PTE physical addresses map to
@@ -57,7 +94,7 @@ type node struct {
 // controller observes.
 type PageTable struct {
 	root    *node
-	byFrame map[mem.Frame]*node
+	byFrame frameIndex
 	alloc   func() (mem.Frame, error)
 	// tablePages counts allocated page-table pages (incl. root).
 	tablePages uint64
@@ -66,7 +103,7 @@ type PageTable struct {
 // NewPageTable creates an empty table; alloc provides frames for table
 // pages (typically Buddy.AllocFrame).
 func NewPageTable(alloc func() (mem.Frame, error)) (*PageTable, error) {
-	pt := &PageTable{byFrame: make(map[mem.Frame]*node), alloc: alloc}
+	pt := &PageTable{alloc: alloc}
 	root, err := pt.newNode(mem.Levels)
 	if err != nil {
 		return nil, err
@@ -81,7 +118,7 @@ func (pt *PageTable) newNode(level int) (*node, error) {
 		return nil, err
 	}
 	n := &node{frame: f, level: level}
-	pt.byFrame[f] = n
+	pt.byFrame.put(f, n)
 	pt.tablePages++
 	return n, nil
 }
@@ -118,7 +155,7 @@ func (pt *PageTable) Map(v mem.VAddr, c mem.PageSizeClass, f mem.Frame) error {
 			}
 			*e = PTE{Present: true, Frame: child.frame}
 		}
-		n = pt.byFrame[e.Frame]
+		n = pt.byFrame.get(e.Frame)
 	}
 	e := &n.entries[v.Index(leafLevel)]
 	if e.Present {
@@ -143,7 +180,7 @@ func (pt *PageTable) Lookup(v mem.VAddr) (Translation, bool) {
 			}
 			return Translation{VBase: v.PageBase(c), Frame: e.Frame, Class: c}, true
 		}
-		n = pt.byFrame[e.Frame]
+		n = pt.byFrame.get(e.Frame)
 	}
 	return Translation{}, false
 }
@@ -168,7 +205,7 @@ func (pt *PageTable) Walk(v mem.VAddr) ([mem.Levels]WalkStep, int, bool) {
 		if e.Leaf {
 			return steps, count, true
 		}
-		n = pt.byFrame[e.Frame]
+		n = pt.byFrame.get(e.Frame)
 	}
 	return steps, count, false
 }
@@ -192,7 +229,7 @@ func (pt *PageTable) Unmap(v mem.VAddr) (Translation, bool) {
 			*e = PTE{}
 			return tr, true
 		}
-		n = pt.byFrame[e.Frame]
+		n = pt.byFrame.get(e.Frame)
 	}
 	return Translation{}, false
 }
@@ -202,8 +239,8 @@ func (pt *PageTable) Unmap(v mem.VAddr) (Translation, bool) {
 // the table, and true. This is the information TEMPO's Prefetch Engine
 // extracts from the DRAM burst that services a page-table walk.
 func (pt *PageTable) ReadPTE(p mem.PAddr) (PTE, int, bool) {
-	n, ok := pt.byFrame[p.Frame()]
-	if !ok {
+	n := pt.byFrame.get(p.Frame())
+	if n == nil {
 		return PTE{}, 0, false
 	}
 	idx := (uint64(p) % mem.PageSize) / mem.PTEBytes
@@ -212,8 +249,7 @@ func (pt *PageTable) ReadPTE(p mem.PAddr) (PTE, int, bool) {
 
 // IsTableFrame reports whether the frame holds a page-table page.
 func (pt *PageTable) IsTableFrame(f mem.Frame) bool {
-	_, ok := pt.byFrame[f]
-	return ok
+	return pt.byFrame.get(f) != nil
 }
 
 func classForLeafLevel(lvl int) (mem.PageSizeClass, bool) {

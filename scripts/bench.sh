@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — measure the simulator's per-record hot path and emit
+# BENCH_hotpath.json.
+#
+# Runs the two throughput microbenchmarks (one op = one trace record):
+#   BenchmarkHotPathTempo        xsbench + TEMPO, the paper's hot path
+#   BenchmarkSimulatorThroughput graph500 baseline, no prefetching
+# with -benchmem, parses records/s, ns/record, B/record and
+# allocs/record, and writes them next to the pinned pre-rewrite
+# baseline (captured on the goroutine-coroutine scheduler at commit
+# de0e01d) so the speedup is tracked in-repo.
+#
+# Usage:  scripts/bench.sh [records-per-run]   (default 300000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RECORDS="${1:-300000}"
+OUT="BENCH_hotpath.json"
+
+# run_bench NAME — prints "records_s ns_rec bytes_rec allocs_rec"
+run_bench() {
+  go test -run=NONE -bench="^$1\$" -benchtime="${RECORDS}x" -benchmem -count=1 . |
+    awk -v name="$1" '
+      $1 == name {
+        for (i = 2; i < NF; i++) {
+          if ($(i+1) == "records/s") rs = $i
+          if ($(i+1) == "ns/op")     ns = $i
+          if ($(i+1) == "B/op")      bp = $i
+          if ($(i+1) == "allocs/op") ap = $i
+        }
+        print rs, ns, bp, ap
+      }'
+}
+
+echo "== measuring hot path (${RECORDS} records per benchmark)" >&2
+read -r T_RS T_NS T_BP T_AP < <(run_bench BenchmarkHotPathTempo)
+read -r G_RS G_NS G_BP G_AP < <(run_bench BenchmarkSimulatorThroughput)
+if [ -z "${T_RS}" ] || [ -z "${G_RS}" ]; then
+  echo "bench.sh: failed to parse benchmark output" >&2
+  exit 1
+fi
+
+# Pre-rewrite baseline, measured at the same record counts on the
+# channel-coroutine scheduler this PR replaced.
+B_T_RS=441601; B_T_NS=2264; B_T_BP=115
+B_G_RS=790535; B_G_NS=1265; B_G_BP=73
+
+speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+cat > "${OUT}" <<EOF
+{
+  "benchmark": "per-record hot path (go test -bench, one op = one trace record)",
+  "records_per_run": ${RECORDS},
+  "baseline_commit": "de0e01d (goroutine-coroutine scheduler)",
+  "xsbench_tempo": {
+    "before": { "records_per_sec": ${B_T_RS}, "ns_per_record": ${B_T_NS}, "bytes_per_record": ${B_T_BP} },
+    "after":  { "records_per_sec": ${T_RS}, "ns_per_record": ${T_NS}, "bytes_per_record": ${T_BP}, "allocs_per_record": ${T_AP} },
+    "speedup": $(speedup "${T_RS}" "${B_T_RS}")
+  },
+  "graph500_baseline": {
+    "before": { "records_per_sec": ${B_G_RS}, "ns_per_record": ${B_G_NS}, "bytes_per_record": ${B_G_BP} },
+    "after":  { "records_per_sec": ${G_RS}, "ns_per_record": ${G_NS}, "bytes_per_record": ${G_BP}, "allocs_per_record": ${G_AP} },
+    "speedup": $(speedup "${G_RS}" "${B_G_RS}")
+  }
+}
+EOF
+echo "wrote ${OUT}" >&2
+cat "${OUT}"
