@@ -1,0 +1,83 @@
+package tempo
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// hotPathRun executes the BenchmarkHotPathTempo configuration (xsbench
+// + TEMPO, instrumentation disabled) for n records and returns the
+// process's exact heap-allocation count delta and the wall time.
+func hotPathRun(t *testing.T, records int) (allocs uint64, elapsed time.Duration) {
+	t.Helper()
+	cfg := DefaultConfig("xsbench")
+	cfg.Workloads[0].Footprint = 256 << 20
+	cfg.Tempo = DefaultTempo()
+	cfg.Records = records
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, elapsed
+}
+
+// TestHotPathStaysAllocationFree is the observability layer's
+// zero-overhead-when-disabled guard: with no Observer attached the
+// steady-state per-record path must stay at ~0 allocations. System
+// construction allocates plenty, so a single run can't isolate the
+// per-record cost; instead two runs at different record counts give a
+// two-point fit — (allocs(250k) - allocs(50k)) / 200k — in which the
+// (equal) construction cost cancels.
+//
+// With BENCH_ASSERT=1 it additionally checks throughput against the
+// pinned BENCH_hotpath.json numbers (within 5%). That comparison only
+// makes sense on the machine that generated the JSON (scripts/bench.sh
+// regenerates it), so it is opt-in rather than a default CI gate.
+func TestHotPathStaysAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hot-path guard runs 300k records; skipped in -short")
+	}
+	const n1, n2 = 50_000, 250_000
+	a1, _ := hotPathRun(t, n1)
+	a2, el2 := hotPathRun(t, n2)
+	perRecord := (float64(a2) - float64(a1)) / float64(n2-n1)
+	// Allow a whisper of noise (GC bookkeeping, map growth in stats):
+	// the budget is well under one allocation per hundred records.
+	if perRecord > 0.01 {
+		t.Errorf("hot path allocates %.4f allocs/record with instrumentation disabled (runs: %d allocs @%d records, %d @%d); want ~0",
+			perRecord, a1, n1, a2, n2)
+	}
+
+	if os.Getenv("BENCH_ASSERT") != "1" {
+		t.Log("set BENCH_ASSERT=1 to also check throughput against BENCH_hotpath.json")
+		return
+	}
+	raw, err := os.ReadFile("BENCH_hotpath.json")
+	if err != nil {
+		t.Fatalf("BENCH_ASSERT=1 but no baseline: %v", err)
+	}
+	var doc struct {
+		Xsbench struct {
+			After struct {
+				RecordsPerSec float64 `json:"records_per_sec"`
+			} `json:"after"`
+		} `json:"xsbench_tempo"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_hotpath.json: %v", err)
+	}
+	pinned := doc.Xsbench.After.RecordsPerSec
+	measured := float64(n2) / el2.Seconds()
+	if measured < 0.95*pinned {
+		t.Errorf("hot-path throughput %.0f records/s is more than 5%% below the pinned %.0f (regenerate with scripts/bench.sh if the machine changed)",
+			measured, pinned)
+	}
+}

@@ -17,12 +17,20 @@
 //	tempo-bench -timeout 30m          # abandon any single sim after 30m
 //	tempo-bench -runs runs.jsonl      # per-job telemetry log
 //	tempo-bench -o results.txt        # also write a report file
+//
+// With -stats-interval N every *executed* simulation streams an
+// interval-stats JSONL time series (OBSERVABILITY.md) into
+// <obs-dir>/<confighash>.jsonl; the hash is the same ConfigKey that
+// names the persistent cache entry and fills the "hash" field of each
+// runs.jsonl record, so series and results join on it. Cache hits do
+// not re-execute and therefore produce no series file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -49,6 +57,8 @@ func main() {
 		runsLog   = flag.String("runs", "", "write per-job runs.jsonl here (default: <cache-dir>/runs.jsonl)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		statsInt  = flag.Uint64("stats-interval", 0, "per-simulation interval stats every N records (0 = off)")
+		obsDir    = flag.String("obs-dir", "tempo-obs", "directory for per-simulation interval-stats JSONL")
 	)
 	flag.Parse()
 
@@ -131,6 +141,12 @@ func main() {
 		tel.JSONL = f
 	}
 	popts.Telemetry = tel
+	if *statsInt > 0 {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fatal("obs-dir: %v", err)
+		}
+		popts.Exec = observedExec(*statsInt, *obsDir)
+	}
 	pool := runner.New(popts)
 
 	benchRunner := tempo.NewParallelRunner(scale, pool)
@@ -199,6 +215,32 @@ func main() {
 			fatal("writing %s: %v", *out, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+// observedExec returns a pool executor that attaches an interval-stats
+// observer to each simulation it actually runs, streaming the epoch
+// series to <dir>/<confighash>.jsonl. Workers run it concurrently; each
+// call builds its own observer, so nothing is shared.
+func observedExec(every uint64, dir string) func(tempo.Config) (*tempo.Result, error) {
+	return func(cfg tempo.Config) (*tempo.Result, error) {
+		key, err := tempo.ConfigKey(cfg)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Create(filepath.Join(dir, key+".jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := tempo.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Attach(tempo.NewObserver(tempo.ObserverOptions{
+			IntervalEvery: every, IntervalSink: f,
+		}))
+		return s.Run()
 	}
 }
 

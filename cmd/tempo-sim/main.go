@@ -6,6 +6,14 @@
 //	tempo-sim -workload xsbench -records 200000 -tempo
 //	tempo-sim -workload xsbench -cores 4 -shared-as -tempo -scheduler bliss
 //	tempo-sim -workload spmv -imp -tempo -pagemode 4k
+//
+// Observability (OBSERVABILITY.md):
+//
+//	tempo-sim -tempo -trace-events out.json -trace-from 1000 -trace-records 200
+//	tempo-sim -tempo -stats-interval 10000 -stats-out epochs.jsonl
+//
+// -trace-events writes a Chrome trace-event JSON loadable in Perfetto;
+// -stats-interval streams one JSONL counter snapshot every N records.
 package main
 
 import (
@@ -123,6 +131,12 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	traceOut := flag.String("trace-events", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	traceFrom := flag.Uint64("trace-from", 0, "first per-core record index to trace")
+	traceRecords := flag.Uint64("trace-records", 0, "number of records to trace (0 = to end of run)")
+	traceBuf := flag.Int("trace-buf", 0, "event ring capacity; oldest events drop when full (0 = default)")
+	statsInterval := flag.Uint64("stats-interval", 0, "flush an interval-stats snapshot every N records (0 = off)")
+	statsOut := flag.String("stats-out", "tempo-stats.jsonl", "interval-stats JSONL output path")
 	flag.Parse()
 
 	if list {
@@ -134,14 +148,74 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	var obs *tempo.Observer
+	var intervalFile *os.File
+	if *traceOut != "" || *statsInterval > 0 {
+		oo := tempo.ObserverOptions{
+			Trace:         *traceOut != "",
+			TraceCapacity: *traceBuf,
+			TraceFrom:     *traceFrom,
+			TraceCount:    *traceRecords,
+		}
+		if *statsInterval > 0 {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				fatal("stats-out: %v", err)
+			}
+			intervalFile = f
+			oo.IntervalEvery = *statsInterval
+			oo.IntervalSink = f
+		}
+		obs = tempo.NewObserver(oo)
+	}
+
 	stopCPU := startCPUProfile(*cpuprofile)
-	res, err := tempo.Run(cfg)
+	var res *tempo.Result
+	if obs != nil {
+		s, serr := tempo.NewSystem(cfg)
+		if serr != nil {
+			fatal("%v", serr)
+		}
+		s.Attach(obs)
+		res, err = s.Run()
+	} else {
+		res, err = tempo.Run(cfg)
+	}
 	stopCPU()
 	if err != nil {
 		fatal("%v", err)
 	}
 	writeMemProfile(*memprofile)
 	printResult(res, cfg)
+
+	if intervalFile != nil {
+		if err := intervalFile.Close(); err != nil {
+			fatal("stats-out: %v", err)
+		}
+		fmt.Printf("interval stats      %d epochs -> %s\n", obs.Epochs(), *statsOut)
+	}
+	if obs != nil && *traceOut != "" {
+		writeTrace(*traceOut, obs, cfg)
+	}
+}
+
+// writeTrace exports the recorder's events as Chrome trace-event JSON.
+func writeTrace(path string, obs *tempo.Observer, cfg tempo.Config) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("trace-events: %v", err)
+	}
+	defer f.Close()
+	meta := map[string]string{
+		"workload": cfg.Workloads[0].Name,
+		"mode":     mode(cfg),
+		"records":  fmt.Sprint(cfg.Records),
+	}
+	if err := tempo.WriteChromeTrace(f, obs.Rec.Events(), meta); err != nil {
+		fatal("trace-events: %v", err)
+	}
+	fmt.Printf("trace events        %d captured, %d dropped -> %s (load in ui.perfetto.dev)\n",
+		obs.Rec.Len(), obs.Rec.Dropped(), path)
 }
 
 // startCPUProfile begins CPU profiling into path (no-op when empty) and

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 )
 
@@ -9,9 +10,11 @@ import (
 type Served uint8
 
 const (
-	// ServedL1 through ServedLLC are on-chip hits.
+	// ServedL1 is a first-level hit.
 	ServedL1 Served = iota
+	// ServedL2 is a second-level hit.
 	ServedL2
+	// ServedLLC is a last-level hit.
 	ServedLLC
 	// ServedDRAM means every level missed; the caller must perform a
 	// DRAM access and then call FillFromDRAM.
@@ -75,6 +78,11 @@ type Hierarchy struct {
 	// record allocation count. Two buffers because a blocked access
 	// (miss → DRAM → FillFromDRAM) has both paths live at once.
 	wbAccess, wbFill []mem.PAddr
+
+	// WBBurst, when non-nil, histograms how many dirty LLC victims each
+	// DRAM fill pushed toward memory — write-pressure visibility the
+	// end-of-run writeback total averages away. Nil-safe obsv hook.
+	WBBurst *obsv.Histogram
 }
 
 // NewHierarchy builds private L1/L2 and a private LLC.
@@ -131,6 +139,7 @@ func (h *Hierarchy) FillFromDRAM(p mem.PAddr, write bool) []mem.PAddr {
 	wb = h.fillL2(wb, p, false)
 	wb = h.fillL1(wb, p, write)
 	h.wbFill = wb
+	h.WBBurst.Observe(uint64(len(wb)))
 	return wb
 }
 

@@ -11,6 +11,7 @@ package core
 import (
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -51,6 +52,12 @@ type Engine struct {
 	// owning controller's pool by the simulator) so the engine emits no
 	// steady-state allocations. Nil falls back to fresh requests.
 	Pool *dram.Pool
+
+	// Rec, when non-nil, receives trigger/prefetch events (a trigger
+	// instant per tagged leaf-PT read with A=1 when a prefetch was
+	// emitted, and the prefetch instant with its replay target). Nil-safe
+	// obsv hook.
+	Rec *obsv.Recorder
 }
 
 // NewEngine builds the engine. st is the memory-system stats sink.
@@ -82,12 +89,12 @@ func (e *Engine) OnLeafPTServed(r *dram.Request, completion uint64) *dram.Reques
 	e.st.TempoTriggers++
 	pte, level, ok := e.reader.ReadPTE(r.Addr)
 	if !ok || !pte.Present || !pte.Leaf {
-		e.st.TempoSuppressed++
+		e.suppress(r, completion)
 		return nil
 	}
 	size, ok := classBytes(level)
 	if !ok {
-		e.st.TempoSuppressed++
+		e.suppress(r, completion)
 		return nil
 	}
 	// The replay's address: the translated physical page base plus
@@ -102,5 +109,21 @@ func (e *Engine) OnLeafPTServed(r *dram.Request, completion uint64) *dram.Reques
 	pf.Addr = target.Line()
 	pf.CoreID = r.CoreID
 	pf.Enqueue = completion
+	if e.Rec.Active() {
+		e.Rec.Emit(obsv.Event{Kind: obsv.EvTempoTrigger, Cycle: completion,
+			Core: int16(r.CoreID), Addr: uint64(r.Addr), A: 1})
+		e.Rec.Emit(obsv.Event{Kind: obsv.EvTempoPrefetch, Cycle: completion,
+			Core: int16(r.CoreID), Addr: uint64(pf.Addr), Aux: r.ReplayLine})
+	}
 	return pf
+}
+
+// suppress records a trigger that emitted no prefetch (the paper's
+// page-fault guard or a malformed entry).
+func (e *Engine) suppress(r *dram.Request, completion uint64) {
+	e.st.TempoSuppressed++
+	if e.Rec.Active() {
+		e.Rec.Emit(obsv.Event{Kind: obsv.EvTempoTrigger, Cycle: completion,
+			Core: int16(r.CoreID), Addr: uint64(r.Addr), A: 0})
+	}
 }

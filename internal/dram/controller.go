@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 )
 
@@ -62,6 +63,14 @@ type Controller struct {
 	OnPrefetchDone func(r *Request)
 	// SubAlloc optionally partitions sub-row buffers (FOA/POA).
 	SubAlloc SubRowAlloc
+
+	// Rec, when non-nil, receives per-transaction DRAM events (serve
+	// spans with channel/bank/row, leaf-PT instants, refresh spans,
+	// queue-depth samples). QDepth, when non-nil, histograms the queue
+	// length seen by each arriving transaction. Both are nil-safe obsv
+	// hooks; disabled they cost one pointer test per serve.
+	Rec    *obsv.Recorder
+	QDepth *obsv.Histogram
 
 	served uint64
 	// frontier is the latest issue time seen — the controller's
@@ -131,6 +140,7 @@ func (c *Controller) Submit(r *Request) {
 	if r.Done {
 		panic("dram: resubmitting a completed request")
 	}
+	c.QDepth.Observe(uint64(len(c.queue)))
 	c.queue = append(c.queue, r)
 }
 
@@ -209,6 +219,19 @@ func (c *Controller) executeOne() *Request {
 		c.st.WrCount++
 	} else {
 		c.st.RdCount++
+	}
+	if c.Rec.Active() {
+		c.Rec.Emit(obsv.Event{Kind: obsv.EvDRAM, Cycle: r.Enqueue,
+			Dur: complete - r.Enqueue, Core: int16(r.CoreID),
+			Addr: uint64(r.Addr), A: uint8(r.Category), B: uint8(outcome),
+			Aux: obsv.PackDRAMAux(loc.Channel, loc.Bank, loc.Row)})
+		c.Rec.Emit(obsv.Event{Kind: obsv.EvQueueDepth, Cycle: complete,
+			Core: -1, Aux: uint64(len(c.queue))})
+		if r.IsLeafPT {
+			c.Rec.Emit(obsv.Event{Kind: obsv.EvLeafPTE, Cycle: complete,
+				Core: int16(r.CoreID), Addr: uint64(r.Addr),
+				Aux: r.ReplayLine})
+		}
 	}
 	if r.IsLeafPT {
 		c.st.DRAMPTWLeaf++
@@ -370,6 +393,11 @@ func (c *Controller) refreshChannel(ch int, now uint64) {
 			b.Refresh(start, t.TRFC, c.st)
 		}
 		c.st.RefCount++
+		if c.Rec.Active() {
+			c.Rec.Emit(obsv.Event{Kind: obsv.EvRefresh, Cycle: start,
+				Dur: t.TRFC, Core: -1, A: uint8(ch),
+				Aux: obsv.PackDRAMAux(ch, 0, 0)})
+		}
 		c.nextRefresh[ch] += t.TREFI
 	}
 }

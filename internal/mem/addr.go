@@ -46,8 +46,11 @@ const (
 type PageSizeClass uint8
 
 const (
+	// Page4K is the x86-64 base 4KB page.
 	Page4K PageSizeClass = iota
+	// Page2M is a 2MB superpage (THP / hugetlbfs).
 	Page2M
+	// Page1G is a 1GB superpage (hugetlbfs only).
 	Page1G
 )
 

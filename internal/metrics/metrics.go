@@ -4,23 +4,37 @@
 // (Figures 16 and 17, following the BLISS papers' methodology).
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// Undefined inputs (a zero denominator) yield NaN rather than a silent
+// 0: in these metrics 0 is a meaningful value ("no change", or for
+// Speedup "infinitely slow"), so returning it for a degenerate input
+// would fabricate a data point. NaN is unmistakable in a table, fails
+// any threshold comparison, and survives aggregation — a corrupt input
+// cannot quietly pass a claims check. Callers with genuinely optional
+// baselines should test math.IsNaN. The multiprogrammed aggregates
+// below return errors instead because their zero denominators indicate
+// caller bugs worth stopping on.
 
 // Improvement returns the fractional reduction achieved by new versus
 // base (e.g. cycles): positive means new is better. Matches the
 // paper's "fraction of baseline execution" y-axes, where 0 means no
-// change.
+// change. A zero base makes the ratio undefined: NaN.
 func Improvement(base, new float64) float64 {
 	if base == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (base - new) / base
 }
 
-// Speedup returns base/new.
+// Speedup returns base/new; NaN when new is 0 (undefined, and 0 would
+// wrongly read as "infinitely slow").
 func Speedup(base, new float64) float64 {
 	if new == 0 {
-		return 0
+		return math.NaN()
 	}
 	return base / new
 }

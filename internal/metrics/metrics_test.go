@@ -7,21 +7,70 @@ import (
 
 func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
 
-func TestImprovementAndSpeedup(t *testing.T) {
-	if !close(Improvement(100, 80), 0.2) {
-		t.Error("Improvement(100,80)")
+// TestImprovement pins the edge-case contract: zero baselines are
+// undefined and must surface as NaN, never as a fabricated 0.
+func TestImprovement(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, new float64
+		want      float64 // NaN means "must be NaN"
+	}{
+		{"better", 100, 80, 0.2},
+		{"regression", 100, 120, -0.2},
+		{"no change", 100, 100, 0},
+		{"to zero", 100, 0, 1},
+		{"zero base", 0, 5, math.NaN()},
+		{"both zero", 0, 0, math.NaN()},
+		{"negative base", -100, -80, 0.2},
 	}
-	if !close(Improvement(100, 120), -0.2) {
-		t.Error("regression should be negative")
+	for _, c := range cases {
+		got := Improvement(c.base, c.new)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Improvement(%v, %v) = %v, want NaN", c.name, c.base, c.new, got)
+			}
+			continue
+		}
+		if !close(got, c.want) {
+			t.Errorf("%s: Improvement(%v, %v) = %v, want %v", c.name, c.base, c.new, got, c.want)
+		}
 	}
-	if Improvement(0, 5) != 0 {
-		t.Error("zero base guarded")
+}
+
+func TestSpeedup(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, new float64
+		want      float64
+	}{
+		{"faster", 100, 50, 2},
+		{"slower", 50, 100, 0.5},
+		{"equal", 100, 100, 1},
+		{"zero base", 0, 100, 0},
+		{"zero new", 100, 0, math.NaN()},
+		{"both zero", 0, 0, math.NaN()},
 	}
-	if !close(Speedup(100, 50), 2) {
-		t.Error("Speedup")
+	for _, c := range cases {
+		got := Speedup(c.base, c.new)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Speedup(%v, %v) = %v, want NaN", c.name, c.base, c.new, got)
+			}
+			continue
+		}
+		if !close(got, c.want) {
+			t.Errorf("%s: Speedup(%v, %v) = %v, want %v", c.name, c.base, c.new, got, c.want)
+		}
 	}
-	if Speedup(100, 0) != 0 {
-		t.Error("zero new guarded")
+}
+
+// TestNaNPropagatesThroughComparisons documents why NaN was chosen
+// over 0: a fabricated 0 would pass "no regression" checks, while NaN
+// fails every threshold comparison.
+func TestNaNPropagatesThroughComparisons(t *testing.T) {
+	nan := Improvement(0, 5)
+	if nan >= 0 || nan < 0 {
+		t.Error("NaN must fail every ordering comparison")
 	}
 }
 

@@ -1,0 +1,253 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Chrome trace-event export: turns a Recorder's events into the JSON
+// object format Perfetto (https://ui.perfetto.dev) and chrome://tracing
+// load directly. One simulated cycle maps to one microsecond of trace
+// time, so Perfetto's time axis reads as cycles.
+//
+// Layout: each simulated core is a process ("core N") whose threads
+// separate the lifecycle layers — records, translation (walks and
+// their steps), cache accesses, replays — so nesting stays correct;
+// the memory system is one extra process with a thread per DRAM
+// channel plus a queue-depth counter track.
+
+// chromePidMem is the synthetic process id of the memory system; core
+// i is process i (ids only need to be distinct within the trace).
+const chromePidMem = 1 << 20
+
+// Thread ids within a core process.
+const (
+	tidRecords = iota
+	tidTranslation
+	tidCache
+	tidReplay
+)
+
+// chromeEvent is one trace-event object. Fields follow the Chrome
+// trace-event format specification ("JSON Object Format").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+var servedNames = [4]string{"L1", "L2", "LLC", "DRAM"}
+var replayNames = [3]string{"LLC", "row-buffer", "DRAM-array"}
+
+// chromeEventOf maps one Event to its trace representation.
+func chromeEventOf(e Event) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Kind.String(),
+		Cat:  "sim",
+		Ph:   "X",
+		Ts:   e.Cycle,
+		Dur:  e.Dur,
+		Pid:  int(e.Core),
+		Tid:  tidRecords,
+	}
+	if e.Core < 0 {
+		ce.Pid = chromePidMem
+	}
+	hex := func(v uint64) string { return fmt.Sprintf("%#x", v) }
+	switch e.Kind {
+	case EvRecord:
+		ce.Args = map[string]any{"vaddr": hex(e.Addr)}
+		if e.A == 1 {
+			ce.Name = "record(store)"
+		}
+	case EvTLBLookup:
+		ce.Ph, ce.S = "i", "t"
+		ce.Name = "tlb-" + [3]string{"hit-L1", "hit-L2", "miss"}[min(int(e.A), 2)]
+		ce.Args = map[string]any{"vaddr": hex(e.Addr)}
+	case EvMMUCache:
+		ce.Ph, ce.S = "i", "t"
+		ce.Tid = tidTranslation
+		ce.Name = "mmu-cache-" + [2]string{"miss", "hit"}[min(int(e.A), 1)]
+	case EvWalkStep:
+		ce.Tid = tidTranslation
+		ce.Name = fmt.Sprintf("walk-L%d", e.A)
+		ce.Args = map[string]any{
+			"pte": hex(e.Addr), "dram": e.B&1 != 0, "leaf": e.B&2 != 0,
+		}
+	case EvWalkEnd:
+		ce.Tid = tidTranslation
+		ce.Args = map[string]any{"vaddr": hex(e.Addr), "leaf-from-dram": e.B&1 != 0}
+	case EvCacheAccess:
+		ce.Tid = tidCache
+		ce.Name = "access-" + servedNames[min(int(e.A), 3)]
+		ce.Args = map[string]any{"paddr": hex(e.Addr)}
+	case EvDRAM, EvLeafPTE:
+		ch, bank, row := DecodeDRAMAux(e.Aux)
+		ce.Pid, ce.Tid = chromePidMem, ch
+		if e.Kind == EvDRAM {
+			ce.Name = stats.DRAMCategory(e.A).String()
+			ce.Cat = "dram"
+			ce.Args = map[string]any{
+				"addr": hex(e.Addr), "outcome": stats.RowOutcome(e.B).String(),
+				"bank": bank, "row": row, "core": int(e.Core),
+			}
+		} else {
+			ce.Cat = "tempo"
+			ce.Args = map[string]any{
+				"pte": hex(e.Addr), "replay-line": e.Aux, "core": int(e.Core),
+			}
+			ce.Ph, ce.S, ce.Dur = "i", "p", 0
+		}
+	case EvTempoTrigger:
+		ce.Ph, ce.S = "i", "p"
+		ce.Cat = "tempo"
+		ce.Pid, ce.Tid = chromePidMem, 0
+		ce.Name = "tempo-" + [2]string{"suppressed", "trigger"}[min(int(e.A), 1)]
+		ce.Args = map[string]any{"pte": hex(e.Addr)}
+	case EvTempoPrefetch:
+		ce.Ph, ce.S = "i", "p"
+		ce.Cat = "tempo"
+		ce.Pid, ce.Tid = chromePidMem, 0
+		ce.Args = map[string]any{"target": hex(e.Addr), "core": int(e.Core)}
+	case EvIMPPrefetch:
+		ce.Ph, ce.S = "i", "t"
+		ce.Tid = tidCache
+		ce.Args = map[string]any{"target": hex(e.Addr)}
+	case EvReplay:
+		ce.Tid = tidReplay
+		ce.Cat = "tempo"
+		ce.Name = "replay-" + replayNames[min(int(e.A), 2)]
+		ce.Args = map[string]any{"paddr": hex(e.Addr)}
+	case EvQueueDepth:
+		ce.Ph = "C"
+		ce.Pid, ce.Tid = chromePidMem, 0
+		ce.Args = map[string]any{"depth": e.Aux}
+	case EvRefresh:
+		ce.Pid, ce.Tid = chromePidMem, int(e.A)
+		ce.Cat = "dram"
+	}
+	return ce
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON object
+// ({"traceEvents": [...], ...}) that Perfetto loads directly. meta is
+// embedded under "otherData" (run configuration, drop counts, ...).
+// Events should be in emission order, as Recorder.Events returns them.
+func WriteChromeTrace(w io.Writer, events []Event, meta map[string]string) error {
+	bw := &errWriter{w: w}
+	bw.printf(`{"displayTimeUnit":"ms","otherData":`)
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	bw.encode(meta)
+	bw.printf(`,"traceEvents":[`)
+
+	enc := json.NewEncoder(discardNewlines{bw})
+	first := true
+	emit := func(ce chromeEvent) {
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.err2(enc.Encode(ce))
+	}
+
+	// Process/thread naming metadata, for the pids/tids the events use.
+	type track struct{ pid, tid int }
+	seenPid := map[int]bool{}
+	seenTid := map[track]bool{}
+	for _, e := range events {
+		ce := chromeEventOf(e)
+		if !seenPid[ce.Pid] {
+			seenPid[ce.Pid] = true
+			name := fmt.Sprintf("core %d", ce.Pid)
+			if ce.Pid == chromePidMem {
+				name = "memory system"
+			}
+			emit(chromeEvent{Name: "process_name", Ph: "M", Pid: ce.Pid,
+				Args: map[string]any{"name": name}})
+		}
+		tr := track{ce.Pid, ce.Tid}
+		if !seenTid[tr] {
+			seenTid[tr] = true
+			var name string
+			switch {
+			case ce.Pid == chromePidMem && ce.Ph == "C":
+				name = "controller"
+			case ce.Pid == chromePidMem:
+				name = fmt.Sprintf("channel %d", ce.Tid)
+			default:
+				name = [4]string{"records", "translation", "caches", "replay"}[min(ce.Tid, 3)]
+			}
+			emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: ce.Pid, Tid: ce.Tid,
+				Args: map[string]any{"name": name}})
+		}
+		emit(ce)
+	}
+	bw.printf("]}\n")
+	return bw.err
+}
+
+// errWriter folds write errors so the export reads linearly.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *errWriter) encode(v any) {
+	if e.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *errWriter) err2(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	return e.w.Write(p)
+}
+
+// discardNewlines strips the trailing newline json.Encoder emits after
+// every value, keeping the traceEvents array compact.
+type discardNewlines struct{ w io.Writer }
+
+func (d discardNewlines) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 && p[len(p)-1] == '\n' {
+		p = p[:len(p)-1]
+	}
+	if len(p) > 0 {
+		if _, err := d.w.Write(p); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}

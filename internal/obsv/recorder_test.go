@@ -1,0 +1,165 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRecorderCapturesInOrder(t *testing.T) {
+	r := NewRecorder(8, 0, 0)
+	r.BeginRecord(0, 0)
+	if !r.Active() {
+		t.Fatal("recorder should be active from record 0")
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: EvRecord})
+	}
+	ev := r.Events()
+	if len(ev) != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", len(ev), r.Dropped())
+	}
+	for i, e := range ev {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("event %d out of order: cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+// TestRecorderRingWrap: once full, the ring keeps the most recent
+// events and counts the overwritten ones.
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4, 0, 0)
+	r.BeginRecord(0, 0)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d: cycle %d, want %d (tail of the stream)", i, e.Cycle, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+// TestRecorderRangeFilter: emission is gated on the per-core trace
+// record index being inside [from, from+count).
+func TestRecorderRangeFilter(t *testing.T) {
+	r := NewRecorder(64, 10, 5)
+	for rec := uint64(0); rec < 20; rec++ {
+		r.BeginRecord(0, rec)
+		r.Emit(Event{Cycle: rec})
+	}
+	ev := r.Events()
+	if len(ev) != 5 {
+		t.Fatalf("captured %d events, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(10 + i); e.Cycle != want {
+			t.Fatalf("event %d: cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+}
+
+// TestRecorderRangeFilterMultiCore: the recorder stays active while
+// ANY core is inside the range, so shared memory-system activity on
+// behalf of an in-range core is captured.
+func TestRecorderRangeFilterMultiCore(t *testing.T) {
+	r := NewRecorder(64, 5, 10)
+	r.BeginRecord(0, 7) // core 0 in range
+	r.BeginRecord(1, 2) // core 1 before range
+	if !r.Active() {
+		t.Fatal("active: one core in range")
+	}
+	r.BeginRecord(0, 20) // core 0 leaves
+	if r.Active() {
+		t.Fatal("inactive: no core in range")
+	}
+	r.BeginRecord(1, 6) // core 1 enters
+	if !r.Active() {
+		t.Fatal("active again")
+	}
+}
+
+func TestRecorderCountZeroMeansOpenEnded(t *testing.T) {
+	r := NewRecorder(16, 3, 0)
+	r.BeginRecord(0, 1<<40)
+	if !r.Active() {
+		t.Fatal("count=0 should mean open-ended")
+	}
+}
+
+// TestWriteChromeTrace validates the export against the Chrome
+// trace-event JSON object format: a traceEvents array whose entries
+// carry name/ph/ts/pid/tid, with X events carrying durations.
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{Cycle: 100, Dur: 50, Kind: EvRecord, Core: 0, Addr: 0x1000},
+		{Cycle: 100, Kind: EvTLBLookup, Core: 0, A: 2, Addr: 0x1000},
+		{Cycle: 110, Dur: 20, Kind: EvWalkStep, Core: 0, A: 1, B: 3, Addr: 0x2000},
+		{Cycle: 130, Dur: 80, Kind: EvDRAM, Core: 0, A: 0, B: 1, Addr: 0x2000,
+			Aux: PackDRAMAux(1, 3, 42)},
+		{Cycle: 210, Kind: EvTempoPrefetch, Core: -1, Addr: 0x3000},
+		{Cycle: 220, Kind: EvQueueDepth, Core: -1, Aux: 17},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, map[string]string{"workload": "test"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData["workload"] != "test" {
+		t.Error("otherData lost")
+	}
+	var spans, instants, counters, metas int
+	for _, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.Pid == nil {
+			t.Fatalf("event missing required fields: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Ts == nil {
+				t.Fatalf("X event without ts: %+v", e)
+			}
+			spans++
+		case "i":
+			instants++
+		case "C":
+			counters++
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans < 3 || instants < 2 || counters != 1 || metas == 0 {
+		t.Fatalf("spans=%d instants=%d counters=%d metas=%d", spans, instants, counters, metas)
+	}
+}
+
+func TestPackDecodeDRAMAux(t *testing.T) {
+	ch, bank, row := DecodeDRAMAux(PackDRAMAux(3, 15, 0x12345))
+	if ch != 3 || bank != 15 || row != 0x12345 {
+		t.Fatalf("got %d/%d/%#x", ch, bank, row)
+	}
+}

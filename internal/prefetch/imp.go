@@ -14,6 +14,7 @@ package prefetch
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obsv"
 )
 
 // Candidate coefficients IMP tries (element sizes of the indirectly
@@ -70,6 +71,12 @@ type IMP struct {
 
 	// Prefetches counts emitted prefetch addresses.
 	Prefetches uint64
+
+	// Fanout, when non-nil, histograms how many prefetch targets each
+	// confirmed index-load observation produced (0 when the PC has no
+	// confirmed pattern) — coverage-shape visibility the Prefetches
+	// total hides. Nil-safe obsv hook.
+	Fanout *obsv.Histogram
 }
 
 // ipdTrain is one Indirect Pattern Detector entry in training.
@@ -119,6 +126,7 @@ func (p *IMP) PrefetchFor(pc, value uint64) []mem.VAddr {
 // allocation-free.
 func (p *IMP) AppendPrefetches(buf []mem.VAddr, pc, value uint64) []mem.VAddr {
 	p.tick++
+	n := len(buf)
 	if e := p.lookupTable(pc); e != nil {
 		e.lru = p.tick
 		for _, w := range e.ways {
@@ -127,6 +135,7 @@ func (p *IMP) AppendPrefetches(buf []mem.VAddr, pc, value uint64) []mem.VAddr {
 			p.Prefetches++
 		}
 	}
+	p.Fanout.Observe(uint64(len(buf) - n))
 	return buf
 }
 

@@ -9,6 +9,7 @@ package ptwalk
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/vm"
@@ -62,6 +63,15 @@ type Walker struct {
 	// StepOverhead is the fixed per-reference walker latency added on
 	// top of the memory system's (pointer chase, address formation).
 	StepOverhead uint64
+
+	// Rec, when non-nil, receives per-walk lifecycle events (MMU-cache
+	// probes, per-level PTE references, whole-walk spans) attributed to
+	// CoreID. WalkLatency, when non-nil, histograms the serialised
+	// latency of completed walks. Both are nil-safe obsv hooks: the
+	// uninstrumented walk path pays one pointer test per site.
+	Rec         *obsv.Recorder
+	CoreID      int
+	WalkLatency *obsv.Histogram
 }
 
 // New builds a walker over a page table with its own MMU caches.
@@ -85,26 +95,35 @@ type WalkState struct {
 	ok         bool
 	startLevel int
 	replayLine uint64
+	start      uint64 // cycle the walk began (for event timestamps)
 	res        Result
 }
 
-// Begin starts a walk of v, performing the software table walk and the
-// MMU-cache lookup (and their stats updates) exactly as Walk does.
-func (w *Walker) Begin(ws *WalkState, v mem.VAddr) {
+// Begin starts a walk of v at cycle now, performing the software table
+// walk and the MMU-cache lookup (and their stats updates) exactly as
+// Walk does. now anchors the walk's event timestamps; pass 0 when the
+// caller has no clock (it only affects tracing).
+func (w *Walker) Begin(ws *WalkState, v mem.VAddr, now uint64) {
 	w.st.WalksStarted++
 	steps, n, ok := w.table.Walk(v)
 
 	// MMU-cache skip: resume below the deepest cached level.
 	startLevel := mem.Levels
+	hitA := uint8(0)
 	if lvl, _, hit := w.mmu.Lookup(v); hit {
 		w.st.MMUCacheHits++
 		startLevel = lvl - 1
+		hitA = 1
 	} else {
 		w.st.MMUCacheMisses++
 	}
+	if w.Rec.Active() {
+		w.Rec.Emit(obsv.Event{Kind: obsv.EvMMUCache, Cycle: now,
+			Core: int16(w.CoreID), A: hitA, Addr: uint64(v)})
+	}
 	*ws = WalkState{
 		w: w, v: v, steps: steps, n: n, ok: ok,
-		startLevel: startLevel, replayLine: ReplayLineOf(v),
+		startLevel: startLevel, replayLine: ReplayLineOf(v), start: now,
 		res: Result{OK: ok},
 	}
 }
@@ -140,6 +159,19 @@ func (ws *WalkState) Feed(latency uint64, fromDRAM bool) {
 	w := ws.w
 	step := ws.steps[ws.i]
 	ws.i++
+	if w.Rec.Active() {
+		flags := uint8(0)
+		if fromDRAM {
+			flags |= 1
+		}
+		if step.IsLeaf {
+			flags |= 2
+		}
+		w.Rec.Emit(obsv.Event{Kind: obsv.EvWalkStep,
+			Cycle: ws.start + ws.res.Latency, Dur: latency,
+			Core: int16(w.CoreID), Addr: uint64(step.PTEAddr),
+			A: uint8(step.Level), B: flags})
+	}
 	ws.res.Latency += latency + w.StepOverhead
 	if fromDRAM {
 		ws.res.DRAMRefs++
@@ -160,6 +192,16 @@ func (ws *WalkState) Feed(latency uint64, fromDRAM bool) {
 // walk-outcome counters.
 func (ws *WalkState) Finish() Result {
 	res := ws.res
+	w := ws.w
+	w.WalkLatency.Observe(res.Latency)
+	if w.Rec.Active() {
+		flags := uint8(0)
+		if res.LeafFromDRAM {
+			flags = 1
+		}
+		w.Rec.Emit(obsv.Event{Kind: obsv.EvWalkEnd, Cycle: ws.start,
+			Dur: res.Latency, Core: int16(w.CoreID), Addr: uint64(ws.v), B: flags})
+	}
 	if !ws.ok {
 		return res
 	}
@@ -181,7 +223,7 @@ func (ws *WalkState) Finish() Result {
 // walks that never park the core (background prefetcher walks, tests).
 func (w *Walker) Walk(v mem.VAddr, at uint64, port MemPort) Result {
 	var ws WalkState
-	w.Begin(&ws, v)
+	w.Begin(&ws, v, at)
 	for {
 		step, more := ws.Next()
 		if !more {

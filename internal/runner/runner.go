@@ -38,6 +38,11 @@ type JobResult struct {
 	Key    string
 	Result *sim.Result
 	Err    error
+	// Hash is the ConfigKey content hash of the job's configuration —
+	// the name of its cache entry and of any per-run observability
+	// artifacts (interval-stats series). Empty when the config could
+	// not be hashed.
+	Hash string
 	// Wall is the job's execution wall-clock (zero for cache hits).
 	Wall time.Duration
 	// FromCache reports that the persistent cache supplied the result.
@@ -182,7 +187,7 @@ feed:
 				case work <- j:
 				default:
 					at := index[tasks[j].job.Key]
-					results[at] = JobResult{Key: tasks[j].job.Key, Err: ctx.Err()}
+					results[at] = JobResult{Key: tasks[j].job.Key, Hash: tasks[j].hash, Err: ctx.Err()}
 					p.failed.Add(1)
 				}
 			}
@@ -219,12 +224,12 @@ func (p *Pool) RunOne(ctx context.Context, key string, cfg sim.Config) (*sim.Res
 func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 	if err := ctx.Err(); err != nil {
 		p.failed.Add(1)
-		return JobResult{Key: j.Key, Err: err}
+		return JobResult{Key: j.Key, Hash: hash, Err: err}
 	}
 	if c := p.opts.Cache; c != nil {
 		if res, ok := c.Get(hash); ok {
 			p.hits.Add(1)
-			return JobResult{Key: j.Key, Result: res, FromCache: true}
+			return JobResult{Key: j.Key, Hash: hash, Result: res, FromCache: true}
 		}
 	}
 	p.misses.Add(1)
@@ -234,7 +239,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 	p.wallTotal.Add(int64(wall))
 	if err != nil {
 		p.failed.Add(1)
-		return JobResult{Key: j.Key, Err: fmt.Errorf("runner: %s: %w", j.Key, err), Wall: wall}
+		return JobResult{Key: j.Key, Hash: hash, Err: fmt.Errorf("runner: %s: %w", j.Key, err), Wall: wall}
 	}
 	p.executed.Add(1)
 	if c := p.opts.Cache; c != nil {
@@ -246,7 +251,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 			}
 		}
 	}
-	return JobResult{Key: j.Key, Result: res, Wall: wall}
+	return JobResult{Key: j.Key, Hash: hash, Result: res, Wall: wall}
 }
 
 // outcome carries one execution's result across the guard goroutine.

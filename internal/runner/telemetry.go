@@ -30,9 +30,13 @@ type Telemetry struct {
 	executed    int
 }
 
-// runRecord is one runs.jsonl line.
+// runRecord is one runs.jsonl line. Hash is the ConfigKey content
+// hash that also names the job's cache entry and any interval-stats
+// series file (OBSERVABILITY.md), so external tools can join the
+// three on it.
 type runRecord struct {
 	Key       string  `json:"key"`
+	Hash      string  `json:"hash,omitempty"`
 	Cached    bool    `json:"cached"`
 	WallMS    float64 `json:"wall_ms"`
 	Err       string  `json:"err,omitempty"`
@@ -97,7 +101,7 @@ func (t *Telemetry) note(r JobResult) {
 	}
 	if t.JSONL != nil {
 		rec := runRecord{
-			Key: r.Key, Cached: r.FromCache,
+			Key: r.Key, Hash: r.Hash, Cached: r.FromCache,
 			WallMS:    float64(r.Wall) / float64(time.Millisecond),
 			Completed: t.done, Total: t.total,
 			ElapsedMS: float64(elapsed) / float64(time.Millisecond),

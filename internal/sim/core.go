@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/prefetch"
 	"repro/internal/ptwalk"
 	"repro/internal/stats"
@@ -81,6 +82,12 @@ type Core struct {
 	records int
 	ran     int // records executed so far
 
+	// obs is the attached event recorder (nil when tracing is off);
+	// obsStart is the cycle the in-flight record began, anchoring its
+	// whole-record span.
+	obs      *obsv.Recorder
+	obsStart uint64
+
 	// State-machine registers: the values live across a coreWait park.
 	phase      corePhase
 	rec        trace.Record
@@ -128,6 +135,8 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 			c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
 			c.st.Instructions += uint64(rec.Gap) + 1
 			c.st.MemRefs++
+			c.obs.BeginRecord(c.id, uint64(c.ran-1))
+			c.obsStart = c.now
 
 			// Demand paging: ensure the page is resident. Fault cost is
 			// excluded (traces model a warmed system; DESIGN.md).
@@ -143,6 +152,10 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 			tr, lvl := c.tlb.Lookup(rec.VAddr)
 			c.tr = tr
 			c.walked, c.leafDRAM = false, false
+			if c.obs.Active() {
+				c.obs.Emit(obsv.Event{Kind: obsv.EvTLBLookup, Cycle: c.now,
+					Core: int16(c.id), A: uint8(lvl), Addr: uint64(rec.VAddr)})
+			}
 			switch lvl {
 			case tlb.HitL1:
 				c.st.TLBHits++
@@ -153,7 +166,7 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 				c.phase = phAccess
 			case tlb.Miss:
 				c.st.TLBMisses++
-				c.walker.Begin(&c.ws, rec.VAddr)
+				c.walker.Begin(&c.ws, rec.VAddr, c.now)
 				c.phase = phWalk
 			}
 
@@ -223,6 +236,15 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 			// lookup reaches the LLC.
 			c.sys.mem.ApplyFills(c.now + m.Caches.LLC.LatencyC)
 			c.ar = c.hier.Access(c.p, c.write)
+			if c.obs.Active() {
+				flags := uint8(0)
+				if c.walked {
+					flags = 1
+				}
+				c.obs.Emit(obsv.Event{Kind: obsv.EvCacheAccess, Cycle: c.now,
+					Dur: c.ar.Latency, Core: int16(c.id), Addr: uint64(c.p),
+					A: uint8(c.ar.Served), B: flags})
+			}
 			if c.ar.Served != cache.ServedDRAM {
 				c.now += c.ar.Latency
 				c.servedDRAM = false
@@ -286,20 +308,32 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 			// Replay service classification (Figure 11) for walks whose
 			// leaf PTE came from DRAM — TEMPO's target population.
 			if c.walked && c.leafDRAM {
+				fromTempo := c.ar.Served == cache.ServedLLC &&
+					c.ar.Provenance == cache.FillTempo
+				class := stats.ReplayDRAMArray
 				switch {
 				case !c.servedDRAM:
-					c.st.ReplayServiced[stats.ReplayLLC]++
-					if c.ar.Served == cache.ServedLLC && c.ar.Provenance == cache.FillTempo {
+					class = stats.ReplayLLC
+					if fromTempo {
 						// Without TEMPO this replay would have gone to
 						// DRAM.
 						c.st.WalkDRAMThenReplayDRAM++
 					}
 				case c.outcome == stats.RowHit:
-					c.st.ReplayServiced[stats.ReplayRowBuffer]++
+					class = stats.ReplayRowBuffer
 					c.st.WalkDRAMThenReplayDRAM++
 				default:
-					c.st.ReplayServiced[stats.ReplayDRAMArray]++
 					c.st.WalkDRAMThenReplayDRAM++
+				}
+				c.st.ReplayServiced[class]++
+				if c.obs.Active() {
+					b := uint8(0)
+					if fromTempo {
+						b = 1
+					}
+					c.obs.Emit(obsv.Event{Kind: obsv.EvReplay, Cycle: c.now,
+						Core: int16(c.id), Addr: uint64(c.p),
+						A: uint8(class), B: b})
 				}
 			}
 
@@ -310,6 +344,11 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 					Value: c.rec.Value, HasValue: c.rec.HasValue,
 					Missed: c.servedDRAM,
 				})
+			}
+			if c.obs.Active() {
+				c.obs.Emit(obsv.Event{Kind: obsv.EvRecord, Cycle: c.obsStart,
+					Dur: c.now - c.obsStart, Core: int16(c.id),
+					Addr: uint64(c.rec.VAddr)})
 			}
 			c.phase = phRecord
 			return coreStep, nil
@@ -430,5 +469,9 @@ func (c *Core) impIssue() {
 		c.sys.mem.AddPending(p, req.Complete+m.LLCFillExtra, cache.FillIMP)
 		c.pool.Release(req)
 		c.st.IMPPrefetches++
+		if c.obs.Active() {
+			c.obs.Emit(obsv.Event{Kind: obsv.EvIMPPrefetch, Cycle: c.now,
+				Core: int16(c.id), Addr: uint64(p)})
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obsv"
 	"repro/internal/prefetch"
 	"repro/internal/ptwalk"
 	"repro/internal/sched"
@@ -92,6 +93,8 @@ type System struct {
 	mem     *memSys
 	mst     *stats.Stats
 	engine  *core.Engine
+	// obs is the instrumentation layer Attach wires in (nil = disabled).
+	obs *obsv.Observer
 }
 
 // New assembles a system from a configuration.
@@ -271,6 +274,12 @@ func (s *System) Run() (*Result, error) {
 	// for picking the next core to run; the cores own their real
 	// clocks (c.now).
 	clock := make([]uint64, n)
+	// Interval stats: flush a registry snapshot every IntervalEvery
+	// completed records (summed across cores).
+	var recordsDone, intervalEvery uint64
+	if s.obs != nil {
+		intervalEvery = s.obs.IntervalEvery
+	}
 	for {
 		// Wake parked cores whose requests completed (possibly via
 		// another core's drain).
@@ -297,6 +306,12 @@ func (s *System) Run() (*Result, error) {
 			switch st {
 			case coreStep:
 				clock[pick] = c.now
+				recordsDone++
+				if intervalEvery > 0 && recordsDone%intervalEvery == 0 {
+					if err := s.flushInterval(recordsDone); err != nil {
+						return nil, fmt.Errorf("sim: interval stats: %w", err)
+					}
+				}
 			case coreWait:
 				status[pick] = stParked
 				waitReq[pick] = req
@@ -329,6 +344,12 @@ func (s *System) Run() (*Result, error) {
 	// transactions needing one more drain round.
 	s.mem.ApplyFills(^uint64(0))
 	s.ctrl.Drain()
+	// Flush the final partial epoch so the series covers the whole run.
+	if intervalEvery > 0 && recordsDone%intervalEvery != 0 {
+		if err := s.flushInterval(recordsDone); err != nil {
+			return nil, fmt.Errorf("sim: interval stats: %w", err)
+		}
+	}
 
 	res := &Result{TempoOn: s.cfg.Tempo.Enabled}
 	for i, c := range s.cores {

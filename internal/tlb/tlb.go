@@ -1,8 +1,18 @@
+// Package tlb models the core-side translation structures: a
+// two-level, page-size-aware TLB (per-class set-associative arrays,
+// Skylake-like geometry by default) and the MMU page-walk caches that
+// let the hardware walker skip upper radix levels. TLB misses are what
+// start the page walks TEMPO piggybacks on, so the package sits at the
+// head of the request lifecycle OBSERVABILITY.md documents; Instrument
+// exposes per-page-size-class hit counters through internal/obsv.
 package tlb
 
 import (
+	"fmt"
+
 	"repro/internal/assoc"
 	"repro/internal/mem"
+	"repro/internal/obsv"
 	"repro/internal/vm"
 )
 
@@ -67,6 +77,13 @@ func DefaultConfig() Config {
 type TLB struct {
 	l1 [3]*assoc.Assoc[vm.Translation]
 	l2 [3]*assoc.Assoc[vm.Translation]
+
+	// Per-page-size-class hit/miss counters (nil unless Instrument was
+	// called; obsv counters discard updates through nil pointers, so
+	// the uninstrumented lookup path pays only the pointer test).
+	obsL1Hits [3]*obsv.Counter
+	obsL2Hits [3]*obsv.Counter
+	obsMisses *obsv.Counter
 }
 
 // New builds a TLB with the given geometry.
@@ -88,16 +105,33 @@ func key(v mem.VAddr, c mem.PageSizeClass) uint64 {
 func (t *TLB) Lookup(v mem.VAddr) (vm.Translation, HitLevel) {
 	for c := mem.Page4K; c <= mem.Page1G; c++ {
 		if tr, ok := t.l1[c].Lookup(key(v, c)); ok {
+			t.obsL1Hits[c].Inc()
 			return tr, HitL1
 		}
 	}
 	for c := mem.Page4K; c <= mem.Page1G; c++ {
 		if tr, ok := t.l2[c].Lookup(key(v, c)); ok {
 			t.l1[c].Insert(key(v, c), tr)
+			t.obsL2Hits[c].Inc()
 			return tr, HitL2
 		}
 	}
+	t.obsMisses.Inc()
 	return vm.Translation{}, Miss
+}
+
+// Instrument registers per-page-size-class hit counters and a miss
+// counter under prefix in reg ("<prefix>/l1_hits/2m", ...). The
+// per-class split is visibility the aggregate stats counters lack:
+// it shows which page sizes carry a workload's TLB locality, the
+// quantity Figure 13's page-size sweep varies.
+func (t *TLB) Instrument(reg *obsv.Registry, prefix string) {
+	classNames := [3]string{"4k", "2m", "1g"}
+	for c := 0; c < 3; c++ {
+		t.obsL1Hits[c] = reg.Counter(fmt.Sprintf("%s/l1_hits/%s", prefix, classNames[c]))
+		t.obsL2Hits[c] = reg.Counter(fmt.Sprintf("%s/l2_hits/%s", prefix, classNames[c]))
+	}
+	t.obsMisses = reg.Counter(prefix + "/misses")
 }
 
 // Insert fills both levels with a translation returned by a walk.

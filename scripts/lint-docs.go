@@ -1,0 +1,178 @@
+// Command lint-docs enforces the repository's documentation floor
+// (OBSERVABILITY.md grew out of the same audit): every package must
+// carry a package-level doc comment. Missing package docs are fatal;
+// exported declarations without doc comments are reported as warnings
+// so the gap is visible without blocking CI on legacy symbols.
+//
+// Run from the repository root (CI does):
+//
+//	go run ./scripts/lint-docs.go
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint-docs: %v\n", err)
+		os.Exit(2)
+	}
+
+	var missingPkg []string
+	warnings := 0
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint-docs: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for name, pkg := range pkgs {
+			if !hasPackageDoc(pkg) {
+				missingPkg = append(missingPkg, fmt.Sprintf("%s (package %s)", dir, name))
+			}
+			warnings += reportUndocumentedExports(fset, pkg)
+		}
+	}
+
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "lint-docs: %d exported declarations without doc comments (warnings)\n", warnings)
+	}
+	if len(missingPkg) > 0 {
+		sort.Strings(missingPkg)
+		for _, m := range missingPkg {
+			fmt.Fprintf(os.Stderr, "lint-docs: FATAL: no package doc comment: %s\n", m)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lint-docs: %d packages documented, %d export warnings\n", len(dirs), warnings)
+}
+
+// packageDirs returns every directory under root containing a
+// non-test .go file, skipping vendor/hidden/testdata trees.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// receiverExported reports whether d is a plain function or a method
+// on an exported type. Methods on unexported types (interface
+// plumbing like io.Writer impls) are not godoc surface.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// hasPackageDoc reports whether any file of the package carries a doc
+// comment on its package clause.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// reportUndocumentedExports prints a warning for every exported
+// top-level declaration lacking a doc comment and returns the count.
+// Grouped declarations (var/const blocks, fields) are checked at the
+// declaration level only — matching the granularity godoc renders.
+func reportUndocumentedExports(fset *token.FileSet, pkg *ast.Package) int {
+	n := 0
+	warn := func(pos token.Pos, what, name string) {
+		n++
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "lint-docs: warning: %s:%d: exported %s %s has no doc comment\n",
+			p.Filename, p.Line, what, name)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+					warn(d.Pos(), "function", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+							warn(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, id := range s.Names {
+							if id.IsExported() {
+								warn(s.Pos(), "value", id.Name)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return n
+}

@@ -22,9 +22,11 @@ package tempo
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -123,6 +125,38 @@ const (
 	ReplayRowBuffer = stats.ReplayRowBuffer
 	ReplayDRAMArray = stats.ReplayDRAMArray
 )
+
+// Observability (see OBSERVABILITY.md): an Observer couples an event
+// recorder (Chrome trace-event export) with a counter/histogram
+// registry (interval snapshots); attach it to a System between NewSystem
+// and Run. The two-step System path exists exactly for this — Config
+// stays free of observation state so a traced run keeps its identity in
+// the persistent result cache.
+type (
+	// System is an assembled machine: NewSystem, optionally Attach,
+	// then Run.
+	System = sim.System
+	// Observer is the instrumentation layer (recorder + registry).
+	Observer = obsv.Observer
+	// ObserverOptions selects tracing, the record window, and the
+	// interval-stats cadence/sink.
+	ObserverOptions = obsv.Options
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = obsv.Event
+)
+
+// NewSystem assembles a machine without running it, so an Observer can
+// be attached first.
+func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
+
+// NewObserver builds an observer from options.
+func NewObserver(o ObserverOptions) *Observer { return obsv.New(o) }
+
+// WriteChromeTrace exports recorded events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent, meta map[string]string) error {
+	return obsv.WriteChromeTrace(w, events, meta)
+}
 
 // DefaultConfig builds a single-core baseline run of the named
 // workload (TEMPO off).
