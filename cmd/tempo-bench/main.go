@@ -17,18 +17,34 @@
 //	tempo-bench -timeout 30m          # abandon any single sim after 30m
 //	tempo-bench -runs runs.jsonl      # per-job telemetry log
 //	tempo-bench -o results.txt        # also write a report file
+//	tempo-bench -csv out/             # one CSV per figure
+//	tempo-bench -http :8080           # live sweep introspection
+//	tempo-bench -v                    # log every simulation run
+//
+// -extras adds the ablation studies (abl01..abl04) to the figure set,
+// -claims evaluates the paper's qualitative claims after the figures,
+// and -compare writes a paper-vs-measured markdown table. -cpuprofile
+// and -memprofile profile the sweep process itself.
 //
 // With -stats-interval N every *executed* simulation streams an
 // interval-stats JSONL time series (OBSERVABILITY.md) into
-// <obs-dir>/<confighash>.jsonl; the hash is the same ConfigKey that
+// -obs-dir/<confighash>.jsonl; the hash is the same ConfigKey that
 // names the persistent cache entry and fills the "hash" field of each
 // runs.jsonl record, so series and results join on it. Cache hits do
 // not re-execute and therefore produce no series file.
+//
+// With -http the sweep serves live introspection while it runs:
+// /metrics is a Prometheus exposition of TEMPO counters accumulated
+// across completed simulations plus pool progress gauges, /runs is the
+// batch progress JSON, /events streams runs.jsonl records (and, with
+// -stats-interval, per-simulation interval lines) as SSE, and
+// /debug/pprof profiles the sweep itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -38,6 +54,8 @@ import (
 
 	tempo "repro"
 	"repro/internal/experiments"
+	"repro/internal/obsv"
+	"repro/internal/obsv/serve"
 	"repro/internal/runner"
 )
 
@@ -59,6 +77,7 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 		statsInt  = flag.Uint64("stats-interval", 0, "per-simulation interval stats every N records (0 = off)")
 		obsDir    = flag.String("obs-dir", "tempo-obs", "directory for per-simulation interval-stats JSONL")
+		httpAddr  = flag.String("http", "", "serve live sweep introspection (/metrics, /runs, /events, /debug/pprof) on this address")
 	)
 	flag.Parse()
 
@@ -128,6 +147,15 @@ func main() {
 			*runsLog = *cacheDir + "/runs.jsonl"
 		}
 	}
+	// With -http, completed-simulation totals accumulate into a shared
+	// registry (all-atomic counters, safe to snapshot from the server's
+	// goroutines) and telemetry/interval lines fan out over SSE.
+	var events *serve.Broadcaster
+	var sweepReg *obsv.Registry
+	if *httpAddr != "" {
+		events = serve.NewBroadcaster()
+		sweepReg = obsv.NewRegistry()
+	}
 	tel := &runner.Telemetry{}
 	if *verbose {
 		tel.Out = os.Stderr
@@ -140,14 +168,44 @@ func main() {
 		defer f.Close()
 		tel.JSONL = f
 	}
+	if events != nil {
+		if tel.JSONL != nil {
+			tel.JSONL = io.MultiWriter(tel.JSONL, events)
+		} else {
+			tel.JSONL = events
+		}
+	}
 	popts.Telemetry = tel
 	if *statsInt > 0 {
 		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
 			fatal("obs-dir: %v", err)
 		}
-		popts.Exec = observedExec(*statsInt, *obsDir)
+	}
+	if *statsInt > 0 || sweepReg != nil {
+		popts.Exec = observedExec(*statsInt, *obsDir, events, sweepReg)
 	}
 	pool := runner.New(popts)
+	if *httpAddr != "" {
+		sweepReg.Gauge("bench/executed", pool.Executed)
+		sweepReg.Gauge("bench/cache_hits", pool.CacheHits)
+		sweepReg.Gauge("bench/cache_misses", pool.CacheMisses)
+		sweepReg.Gauge("bench/failed", pool.Failed)
+		srv := serve.New(serve.Options{
+			Metrics:   sweepReg.Snapshot,
+			Telemetry: tel,
+			Events:    events,
+			Meta: map[string]string{
+				"binary": "tempo-bench",
+				"scale":  scale.Name,
+			},
+		})
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal("http: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", addr)
+	}
 
 	benchRunner := tempo.NewParallelRunner(scale, pool)
 	if *verbose {
@@ -219,28 +277,44 @@ func main() {
 }
 
 // observedExec returns a pool executor that attaches an interval-stats
-// observer to each simulation it actually runs, streaming the epoch
-// series to <dir>/<confighash>.jsonl. Workers run it concurrently; each
-// call builds its own observer, so nothing is shared.
-func observedExec(every uint64, dir string) func(tempo.Config) (*tempo.Result, error) {
+// observer to each simulation it actually runs (every > 0), streaming
+// the epoch series to <dir>/<confighash>.jsonl and, when a broadcaster
+// is attached, over SSE. Completed totals accumulate into reg (the
+// sweep-wide /metrics view). Workers run it concurrently; each call
+// builds its own observer, so only the atomic registry is shared.
+func observedExec(every uint64, dir string, bc *serve.Broadcaster, reg *obsv.Registry) func(tempo.Config) (*tempo.Result, error) {
 	return func(cfg tempo.Config) (*tempo.Result, error) {
-		key, err := tempo.ConfigKey(cfg)
-		if err != nil {
-			return nil, err
+		run := func() (*tempo.Result, error) {
+			if every == 0 {
+				return tempo.Run(cfg)
+			}
+			key, err := tempo.ConfigKey(cfg)
+			if err != nil {
+				return nil, err
+			}
+			f, err := os.Create(filepath.Join(dir, key+".jsonl"))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			sink := io.Writer(f)
+			if bc != nil {
+				sink = io.MultiWriter(f, bc)
+			}
+			s, err := tempo.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Attach(tempo.NewObserver(tempo.ObserverOptions{
+				IntervalEvery: every, IntervalSink: sink,
+			}))
+			return s.Run()
 		}
-		f, err := os.Create(filepath.Join(dir, key+".jsonl"))
-		if err != nil {
-			return nil, err
+		res, err := run()
+		if err == nil && reg != nil {
+			obsv.AddStats(reg, &res.Total)
 		}
-		defer f.Close()
-		s, err := tempo.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.Attach(tempo.NewObserver(tempo.ObserverOptions{
-			IntervalEvery: every, IntervalSink: f,
-		}))
-		return s.Run()
+		return res, err
 	}
 }
 

@@ -1,0 +1,173 @@
+// Command tempo-report analyzes completed sweeps offline. It joins
+// the three artifacts a tempo-bench run leaves behind — the runs.jsonl
+// telemetry log, the persistent result cache, and the per-config
+// interval-stats series — on their shared config hash, and renders
+// paper-figure summary tables, counter-conservation audits, and A/B
+// performance comparisons. Output is deterministic: two invocations
+// over the same artifacts produce byte-identical bytes.
+//
+// Usage:
+//
+//	tempo-report tables -runs .tempo/runs.jsonl -cache-dir .tempo -obs-dir tempo-obs
+//	tempo-report tables -runs runs.jsonl -cache-dir .tempo -format csv -o tables.csv
+//	tempo-report audit -runs runs.jsonl -cache-dir .tempo
+//	tempo-report diff old.json new.json
+//	tempo-report diff -max-regress 5% old.json new.json
+//
+// tables renders speedup / weighted-speedup, DRAM row-buffer hit rate,
+// and walk-latency quantile tables as markdown (-format md, default),
+// CSV (-format csv) or both concatenated (-format all), to stdout or
+// -o. -runs names the runs.jsonl log, -cache-dir the result cache
+// root, -obs-dir the interval-stats directory ("" skips series-backed
+// tables).
+//
+// audit runs the obsv counter-conservation checks over every cached
+// result and exits 1 if any invariant is violated — the offline
+// counterpart of the end-to-end audit test.
+//
+// diff flattens two JSON documents (bench summaries, saved tables) to
+// numeric leaves and compares them; leaves whose names imply a quality
+// direction (records_per_sec up, ns_per_record down, ...) gate the
+// exit status: any worsening beyond -max-regress (default 5%) exits 1.
+// CI uses this as the performance-regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "tables":
+		cmdTables(os.Args[2:])
+	case "audit":
+		cmdAudit(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tempo-report tables|audit|diff [flags] [files]")
+	os.Exit(2)
+}
+
+func cmdTables(args []string) {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	runs := fs.String("runs", "", "runs.jsonl telemetry log (required)")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (required)")
+	obsDir := fs.String("obs-dir", "", "interval-stats directory (optional)")
+	format := fs.String("format", "md", "output format: md, csv or all")
+	out := fs.String("o", "", "write output here instead of stdout")
+	fs.Parse(args)
+	if *runs == "" || *cacheDir == "" {
+		fatal("tables: -runs and -cache-dir are required")
+	}
+	d, err := report.Load(*runs, *cacheDir, *obsDir)
+	if err != nil {
+		fatal("tables: %v", err)
+	}
+	tables := report.Tables(d)
+	if len(tables) == 0 {
+		fatal("tables: no joinable runs (need cached results under -cache-dir matching -runs hashes)")
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		switch *format {
+		case "md":
+			b.WriteString(t.Markdown())
+		case "csv":
+			b.WriteString(t.CSV())
+			b.WriteByte('\n')
+		case "all":
+			b.WriteString(t.Markdown())
+			b.WriteString(t.CSV())
+			b.WriteByte('\n')
+		default:
+			fatal("tables: unknown -format %q (want md, csv or all)", *format)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fatal("tables: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		return
+	}
+	fmt.Print(b.String())
+}
+
+func cmdAudit(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	runs := fs.String("runs", "", "runs.jsonl telemetry log (required)")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (required)")
+	fs.Parse(args)
+	if *runs == "" || *cacheDir == "" {
+		fatal("audit: -runs and -cache-dir are required")
+	}
+	d, err := report.Load(*runs, *cacheDir, "")
+	if err != nil {
+		fatal("audit: %v", err)
+	}
+	violations, audited, skipped := report.AuditAll(d)
+	fmt.Printf("audited %d runs (%d without cached results skipped)\n", audited, skipped)
+	if len(violations) == 0 {
+		fmt.Println("all counter-conservation checks passed")
+		return
+	}
+	for _, key := range d.Keys() {
+		for _, v := range violations[key] {
+			fmt.Printf("FAIL %s: %s\n", key, v)
+		}
+	}
+	os.Exit(1)
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	maxRegress := fs.String("max-regress", "5%", "tolerated relative worsening (\"5%\" or \"0.05\")")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal("diff: want exactly two files, got %d", fs.NArg())
+	}
+	threshold, err := report.ParseThreshold(*maxRegress)
+	if err != nil {
+		fatal("diff: %v", err)
+	}
+	oldDoc, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal("diff: %v", err)
+	}
+	newDoc, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fatal("diff: %v", err)
+	}
+	entries, err := report.Diff(oldDoc, newDoc, threshold)
+	if err != nil {
+		fatal("diff: %v", err)
+	}
+	fmt.Print(report.FormatDiff(entries))
+	if regs := report.Regressions(entries); len(regs) > 0 {
+		fmt.Printf("%d regression(s) beyond %s:\n", len(regs), *maxRegress)
+		for _, e := range regs {
+			fmt.Printf("  %s: %.4g -> %.4g (%+.2f%%)\n", e.Path, e.Old, e.New, e.Change*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions beyond %s\n", *maxRegress)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tempo-report: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,24 +7,44 @@
 //	tempo-sim -workload xsbench -cores 4 -shared-as -tempo -scheduler bliss
 //	tempo-sim -workload spmv -imp -tempo -pagemode 4k
 //
+// Workload selection: -workload names a generator (-list prints them),
+// -records sets trace records per core, -footprint-mb overrides the
+// working-set size (0 = workload default), -seed the generator seed,
+// and -trace replays a tempo-trace capture instead of a generator.
+// Machine shape: -cores, -shared-as (threads of one address space),
+// -scheduler (frfcfs or bliss), -row-policy (adaptive, open, closed),
+// -sub-rows and -prefetch-sub-rows (sub-row organisation), -pagemode,
+// and -memhog (fraction of memory pre-filled to fragment superpages).
+// Mechanisms: -tempo enables the paper's prefetcher with -tempo-llc
+// (LLC fill on/off) and -pt-wait (PT-row wait cycles); -imp enables
+// the indirect prefetcher.
+//
 // Observability (OBSERVABILITY.md):
 //
 //	tempo-sim -tempo -trace-events out.json -trace-from 1000 -trace-records 200
 //	tempo-sim -tempo -stats-interval 10000 -stats-out epochs.jsonl
+//	tempo-sim -tempo -records 5000000 -http :8080
 //
-// -trace-events writes a Chrome trace-event JSON loadable in Perfetto;
-// -stats-interval streams one JSONL counter snapshot every N records.
+// -trace-events writes a Chrome trace-event JSON loadable in Perfetto
+// (capture window set by -trace-from/-trace-records, ring capacity by
+// -trace-buf); -stats-interval streams one JSONL counter snapshot
+// every N records to -stats-out; -http serves live introspection
+// (/metrics Prometheus exposition, /events interval-stats SSE,
+// /debug/pprof) while the run executes. -cpuprofile and -memprofile
+// profile the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	tempo "repro"
+	"repro/internal/obsv/serve"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -137,6 +157,7 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "event ring capacity; oldest events drop when full (0 = default)")
 	statsInterval := flag.Uint64("stats-interval", 0, "flush an interval-stats snapshot every N records (0 = off)")
 	statsOut := flag.String("stats-out", "tempo-stats.jsonl", "interval-stats JSONL output path")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /events, /debug/pprof) on this address")
 	flag.Parse()
 
 	if list {
@@ -150,7 +171,8 @@ func main() {
 	}
 	var obs *tempo.Observer
 	var intervalFile *os.File
-	if *traceOut != "" || *statsInterval > 0 {
+	var events *serve.Broadcaster
+	if *traceOut != "" || *statsInterval > 0 || *httpAddr != "" {
 		oo := tempo.ObserverOptions{
 			Trace:         *traceOut != "",
 			TraceCapacity: *traceBuf,
@@ -166,7 +188,36 @@ func main() {
 			oo.IntervalEvery = *statsInterval
 			oo.IntervalSink = f
 		}
+		if *httpAddr != "" {
+			// The server scrapes the snapshot published at interval
+			// flushes and streams the flush lines over SSE, so a live
+			// server needs a flush cadence even without -stats-interval.
+			events = serve.NewBroadcaster()
+			if oo.IntervalSink != nil {
+				oo.IntervalSink = io.MultiWriter(oo.IntervalSink, events)
+			} else {
+				oo.IntervalSink = events
+				oo.IntervalEvery = 2_000
+			}
+		}
 		obs = tempo.NewObserver(oo)
+	}
+	if *httpAddr != "" {
+		srv := serve.New(serve.Options{
+			Metrics: obs.LastSnapshot,
+			Events:  events,
+			Meta: map[string]string{
+				"binary":   "tempo-sim",
+				"workload": cfg.Workloads[0].Name,
+				"records":  fmt.Sprint(cfg.Records),
+			},
+		})
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal("http: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", addr)
 	}
 
 	stopCPU := startCPUProfile(*cpuprofile)

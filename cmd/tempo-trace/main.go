@@ -5,8 +5,13 @@
 // Usage:
 //
 //	tempo-trace gen -workload xsbench -records 100000 -o xs.trc
+//	tempo-trace gen -workload spmv -footprint-mb 512 -seed 7 -o spmv.trc
 //	tempo-trace info xs.trc
 //	tempo-trace dump -n 20 xs.trc
+//
+// gen captures -records records of -workload (sized by -footprint-mb,
+// 0 meaning the workload default, and seeded by -seed) into the file
+// named by -o; dump prints the first -n records of a trace.
 package main
 
 import (

@@ -1,0 +1,249 @@
+package obsv
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Canonical registry names for the cross-subsystem metrics the audit
+// and the cross-run tooling (cmd/tempo-report, the introspection
+// server) consume. "mem/..." metrics live in the shared memory-system
+// stats; "sys/..." metrics are sums across cores. The three views of
+// these names — live gauges (RegisterStatsGauges), end-of-run
+// snapshots (StatsSnapshot) and sweep accumulation (AddStats) — all
+// derive from statsPairs, so a check written against one view holds
+// for the others.
+const (
+	MetricReads           = "mem/reads"
+	MetricWrites          = "mem/writes"
+	MetricRefreshes       = "mem/refreshes"
+	MetricLeafPTReads     = "mem/leaf_pt_reads"
+	MetricTempoTriggers   = "mem/tempo_triggers"
+	MetricTempoPrefetches = "mem/tempo_prefetches"
+	MetricTempoSuppressed = "mem/tempo_suppressed"
+	MetricTempoLLCFills   = "mem/tempo_llc_fills"
+	MetricDRAMRefsPTW     = "mem/dram_refs/ptw"
+	MetricDRAMRefsReplay  = "mem/dram_refs/replay"
+	MetricDRAMRefsOther   = "mem/dram_refs/other"
+	MetricDRAMRefsPf      = "mem/dram_refs/prefetch"
+	MetricTempoUseful     = "sys/tempo_useful"
+	MetricIMPPrefetches   = "sys/imp_prefetches"
+	MetricIMPUseful       = "sys/imp_useful"
+	MetricIMPWalks        = "sys/imp_walks"
+	MetricTLBHits         = "sys/tlb_hits"
+	MetricTLBMisses       = "sys/tlb_misses"
+	MetricWalksStarted    = "sys/walks_started"
+	MetricWalkDRAM        = "sys/walk_dram_touched"
+	MetricWalkDRAMReplay  = "sys/walk_dram_then_replay"
+	MetricMemRefs         = "sys/mem_refs"
+	MetricInstructions    = "sys/instructions"
+)
+
+// metricPair is one (name, value) sample of a Stats field.
+type metricPair struct {
+	name string
+	v    uint64
+}
+
+// statsPairs samples every canonical metric from st. st should be a
+// merged system view (Result.Total) so memory-side and per-core
+// counters are both populated.
+func statsPairs(st *stats.Stats) []metricPair {
+	return []metricPair{
+		{MetricReads, st.RdCount},
+		{MetricWrites, st.WrCount},
+		{MetricRefreshes, st.RefCount},
+		{MetricLeafPTReads, st.DRAMPTWLeaf},
+		{MetricTempoTriggers, st.TempoTriggers},
+		{MetricTempoPrefetches, st.TempoPrefetches},
+		{MetricTempoSuppressed, st.TempoSuppressed},
+		{MetricTempoLLCFills, st.TempoLLCFills},
+		{MetricDRAMRefsPTW, st.DRAMRefs[stats.DRAMPTW]},
+		{MetricDRAMRefsReplay, st.DRAMRefs[stats.DRAMReplay]},
+		{MetricDRAMRefsOther, st.DRAMRefs[stats.DRAMOther]},
+		{MetricDRAMRefsPf, st.DRAMRefs[stats.DRAMPrefetch]},
+		{MetricTempoUseful, st.TempoUseful},
+		{MetricIMPPrefetches, st.IMPPrefetches},
+		{MetricIMPUseful, st.IMPUseful},
+		{MetricIMPWalks, st.IMPWalks},
+		{MetricTLBHits, st.TLBHits},
+		{MetricTLBMisses, st.TLBMisses},
+		{MetricWalksStarted, st.WalksStarted},
+		{MetricWalkDRAM, st.WalkDRAMTouched},
+		{MetricWalkDRAMReplay, st.WalkDRAMThenReplayDRAM},
+		{MetricMemRefs, st.MemRefs},
+		{MetricInstructions, st.Instructions},
+	}
+}
+
+// StatsSnapshot builds a registry Snapshot from end-of-run stats
+// totals, under the same canonical names RegisterStatsGauges exposes
+// live. It lets offline tooling (tempo-report) run Audit against
+// cached results exactly as the introspection server runs it against
+// a live registry.
+func StatsSnapshot(st *stats.Stats) Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Hists: map[string]HistSnapshot{}}
+	if st == nil {
+		return s
+	}
+	for _, p := range statsPairs(st) {
+		s.Counters[p.name] = p.v
+	}
+	return s
+}
+
+// AddStats accumulates st's canonical metrics into reg's counters —
+// the sweep-level aggregation tempo-bench's introspection server
+// exposes: each completed simulation adds its totals, so /metrics
+// shows cumulative TEMPO activity across the whole batch. Nil-safe.
+func AddStats(reg *Registry, st *stats.Stats) {
+	if reg == nil || st == nil {
+		return
+	}
+	for _, p := range statsPairs(st) {
+		reg.Counter(p.name).Add(p.v)
+	}
+}
+
+// RegisterStatsGauges registers one lazy gauge per canonical metric,
+// sampling read() at snapshot time. read must return a merged system
+// view and be safe to call whenever Snapshot is (the simulator
+// snapshots on its own thread at interval boundaries).
+func RegisterStatsGauges(reg *Registry, read func() stats.Stats) {
+	if reg == nil || read == nil {
+		return
+	}
+	// One gauge per name; each samples the full pair set and picks its
+	// metric. Gauges fire only at snapshot time, so the repeated merge
+	// costs the record path nothing.
+	for _, p := range statsPairs(&stats.Stats{}) {
+		name := p.name
+		reg.Gauge(name, func() uint64 {
+			st := read()
+			for _, q := range statsPairs(&st) {
+				if q.name == name {
+					return q.v
+				}
+			}
+			return 0
+		})
+	}
+}
+
+// AuditViolation is one failed conservation check.
+type AuditViolation struct {
+	// Check names the invariant ("tempo-trigger-conservation").
+	Check string
+	// Detail states the observed counter values.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v AuditViolation) String() string { return v.Check + ": " + v.Detail }
+
+// Audit evaluates cross-subsystem counter conservation laws against a
+// snapshot and returns every violated invariant (nil when all hold).
+// The checks encode how the TEMPO request lifecycle chains subsystems
+// together:
+//
+//   - every page walk is started by a demand TLB miss or an IMP
+//     background translation, so walks ≤ misses + IMP walks;
+//   - walks that touched DRAM, and walks whose replay then also went
+//     to DRAM, are successively smaller subsets;
+//   - the engine examines exactly the leaf-PTE reads DRAM serves, and
+//     each examination either issues a prefetch or suppresses one, so
+//     triggers = prefetches + suppressed and (TEMPO on) triggers =
+//     leaf reads;
+//   - a prefetch is filled into the LLC at most once and is useful at
+//     most once, and only filled lines can be useful;
+//   - prefetch DRAM references cannot exceed issued prefetches, and
+//     DRAM read commands are conserved across the reference
+//     categories.
+//
+// A check whose operands are absent from the snapshot is skipped, so
+// Audit accepts partial snapshots (an interval delta, a registry with
+// only some subsystems attached). Snapshots must be quiescent —
+// end-of-run totals or an interval boundary — because in-flight
+// requests make paired counters momentarily unequal.
+func Audit(s Snapshot) []AuditViolation {
+	var out []AuditViolation
+	get := func(name string) (uint64, bool) {
+		v, ok := s.Counters[name]
+		return v, ok
+	}
+	fail := func(check, format string, args ...any) {
+		out = append(out, AuditViolation{Check: check, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if walks, ok := get(MetricWalksStarted); ok {
+		// Demand walks are started by TLB misses; IMP additionally
+		// performs background walks to translate prefetch targets, which
+		// it counts separately.
+		if misses, ok := get(MetricTLBMisses); ok {
+			impWalks, _ := get(MetricIMPWalks)
+			if walks > misses+impWalks {
+				fail("walks-need-tlb-misses",
+					"%d walks started but only %d TLB misses + %d IMP background walks",
+					walks, misses, impWalks)
+			}
+		}
+		if touched, ok := get(MetricWalkDRAM); ok && touched > walks {
+			fail("walk-dram-subset",
+				"%d walks touched DRAM out of %d started", touched, walks)
+		}
+	}
+	if touched, ok := get(MetricWalkDRAM); ok {
+		if replay, ok := get(MetricWalkDRAMReplay); ok && replay > touched {
+			fail("replay-chain-subset",
+				"%d walk→replay DRAM chains out of %d DRAM-touching walks", replay, touched)
+		}
+	}
+
+	triggers, hasTriggers := get(MetricTempoTriggers)
+	prefetches, hasPrefetches := get(MetricTempoPrefetches)
+	if hasTriggers && hasPrefetches {
+		if suppressed, ok := get(MetricTempoSuppressed); ok && triggers != prefetches+suppressed {
+			fail("tempo-trigger-conservation",
+				"%d triggers != %d prefetches + %d suppressed", triggers, prefetches, suppressed)
+		}
+		// With TEMPO off the engine never runs, so leaf reads outnumber
+		// the zero triggers legitimately; with it on, every DRAM-served
+		// leaf PTE is a trigger opportunity.
+		if leaf, ok := get(MetricLeafPTReads); ok && triggers > 0 && leaf != triggers {
+			fail("leaf-reads-are-trigger-opportunities",
+				"%d leaf-PTE DRAM reads but %d TEMPO triggers", leaf, triggers)
+		}
+	}
+	if hasPrefetches {
+		fills, hasFills := get(MetricTempoLLCFills)
+		if hasFills && fills > prefetches {
+			fail("prefetch-fill-conservation",
+				"%d LLC fills from %d prefetches issued (drops cannot be negative)", fills, prefetches)
+		}
+		if useful, ok := get(MetricTempoUseful); ok && hasFills && useful > fills {
+			fail("useful-needs-fill",
+				"%d useful prefetches but only %d LLC fills", useful, fills)
+		}
+		if pfRefs, ok := get(MetricDRAMRefsPf); ok {
+			imp, _ := get(MetricIMPPrefetches)
+			if pfRefs > prefetches+imp {
+				fail("prefetch-dram-subset",
+					"%d prefetch DRAM references from %d TEMPO + %d IMP prefetches issued",
+					pfRefs, prefetches, imp)
+			}
+		}
+	}
+	if reads, ok := get(MetricReads); ok {
+		ptw, ok1 := get(MetricDRAMRefsPTW)
+		rep, ok2 := get(MetricDRAMRefsReplay)
+		oth, ok3 := get(MetricDRAMRefsOther)
+		pf, ok4 := get(MetricDRAMRefsPf)
+		if ok1 && ok2 && ok3 && ok4 && reads != ptw+rep+oth+pf {
+			fail("dram-read-conservation",
+				"%d DRAM read commands != %d PTW + %d replay + %d other + %d prefetch references",
+				reads, ptw, rep, oth, pf)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// consistentStats returns a Stats whose counters satisfy every audit
+// invariant: a plausible end-of-run total of a TEMPO run.
+func consistentStats() stats.Stats {
+	var st stats.Stats
+	st.TLBHits = 900
+	st.TLBMisses = 100
+	st.WalksStarted = 100
+	st.WalkDRAMTouched = 60
+	st.WalkDRAMThenReplayDRAM = 58
+	st.DRAMPTWLeaf = 60
+	st.TempoTriggers = 60
+	st.TempoPrefetches = 55
+	st.TempoSuppressed = 5
+	st.TempoLLCFills = 50
+	st.TempoUseful = 40
+	st.DRAMRefs[stats.DRAMPTW] = 70
+	st.DRAMRefs[stats.DRAMReplay] = 20
+	st.DRAMRefs[stats.DRAMOther] = 200
+	st.DRAMRefs[stats.DRAMPrefetch] = 55
+	st.RdCount = 70 + 20 + 200 + 55
+	st.WrCount = 12
+	st.MemRefs = 1000
+	st.Instructions = 3000
+	return st
+}
+
+func TestAuditPassesOnConsistentStats(t *testing.T) {
+	st := consistentStats()
+	if v := Audit(StatsSnapshot(&st)); len(v) != 0 {
+		t.Fatalf("consistent stats audited dirty: %v", v)
+	}
+}
+
+func TestAuditCatchesCorruptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*stats.Stats)
+		check   string
+	}{
+		{"walks exceed misses", func(s *stats.Stats) { s.WalksStarted = s.TLBMisses + 1 },
+			"walks-need-tlb-misses"},
+		{"dram walks exceed walks", func(s *stats.Stats) { s.WalkDRAMTouched = s.WalksStarted + 1 },
+			"walk-dram-subset"},
+		{"replay chain exceeds dram walks", func(s *stats.Stats) { s.WalkDRAMThenReplayDRAM = s.WalkDRAMTouched + 1 },
+			"replay-chain-subset"},
+		{"lost suppression", func(s *stats.Stats) { s.TempoSuppressed-- },
+			"tempo-trigger-conservation"},
+		{"leaf reads drift from triggers", func(s *stats.Stats) { s.DRAMPTWLeaf += 3 },
+			"leaf-reads-are-trigger-opportunities"},
+		{"fills exceed prefetches", func(s *stats.Stats) { s.TempoLLCFills = s.TempoPrefetches + 1 },
+			"prefetch-fill-conservation"},
+		{"useful exceeds fills", func(s *stats.Stats) { s.TempoUseful = s.TempoLLCFills + 1 },
+			"useful-needs-fill"},
+		{"phantom prefetch traffic", func(s *stats.Stats) { s.DRAMRefs[stats.DRAMPrefetch] = s.TempoPrefetches + s.IMPPrefetches + 1 },
+			"prefetch-dram-subset"},
+		{"read commands drift", func(s *stats.Stats) { s.RdCount++ },
+			"dram-read-conservation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := consistentStats()
+			tc.corrupt(&st)
+			vs := Audit(StatsSnapshot(&st))
+			found := false
+			for _, v := range vs {
+				if v.Check == tc.check {
+					found = true
+					if v.Detail == "" {
+						t.Errorf("violation %q has no detail", v.Check)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("corruption not caught; violations: %v", vs)
+			}
+		})
+	}
+}
+
+// The read-conservation corruption above bumps RdCount, which must not
+// also trip unrelated checks — each invariant isolates its own
+// counters.
+func TestAuditViolationsAreIndependent(t *testing.T) {
+	st := consistentStats()
+	st.RdCount++
+	vs := Audit(StatsSnapshot(&st))
+	if len(vs) != 1 || vs[0].Check != "dram-read-conservation" {
+		t.Fatalf("want exactly the read-conservation violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "dram-read-conservation") {
+		t.Fatalf("String() should lead with the check name: %q", vs[0].String())
+	}
+}
+
+// Audit skips checks whose operands are absent, so partial snapshots
+// (interval deltas, sparsely-attached registries) audit clean rather
+// than spuriously failing.
+func TestAuditSkipsAbsentOperands(t *testing.T) {
+	s := Snapshot{Counters: map[string]uint64{
+		MetricWalksStarted: 10, // no tlb_misses, no walk_dram_touched
+	}}
+	if v := Audit(s); len(v) != 0 {
+		t.Fatalf("partial snapshot should audit clean, got %v", v)
+	}
+	if v := Audit(Snapshot{}); len(v) != 0 {
+		t.Fatalf("empty snapshot should audit clean, got %v", v)
+	}
+}
+
+// AddStats accumulates; two identical runs double every counter, and
+// the accumulated registry still audits clean (conservation laws are
+// closed under addition).
+func TestAddStatsAccumulatesAndAuditsClean(t *testing.T) {
+	st := consistentStats()
+	reg := NewRegistry()
+	AddStats(reg, &st)
+	AddStats(reg, &st)
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricTempoPrefetches]; got != 2*st.TempoPrefetches {
+		t.Fatalf("accumulated prefetches = %d, want %d", got, 2*st.TempoPrefetches)
+	}
+	if v := Audit(snap); len(v) != 0 {
+		t.Fatalf("accumulated registry audited dirty: %v", v)
+	}
+}
+
+func TestRegisterStatsGaugesTracksLiveStats(t *testing.T) {
+	st := consistentStats()
+	reg := NewRegistry()
+	RegisterStatsGauges(reg, func() stats.Stats { return st })
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricTLBMisses]; got != st.TLBMisses {
+		t.Fatalf("gauge read %d, want %d", got, st.TLBMisses)
+	}
+	if v := Audit(snap); len(v) != 0 {
+		t.Fatalf("gauge snapshot audited dirty: %v", v)
+	}
+	st.TempoPrefetches += 7 // drifts from triggers+suppressed
+	if v := Audit(reg.Snapshot()); len(v) == 0 {
+		t.Fatal("live gauge snapshot should reflect the corrupted counter")
+	}
+}

@@ -1,0 +1,181 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// decodeTrace parses a Chrome trace export and returns the non-metadata
+// events ("M" phases carry track names, not simulation data).
+func decodeTrace(t *testing.T, b []byte) (meta map[string]string, events []struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}) {
+	t.Helper()
+	var doc struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			events = append(events, e)
+		}
+	}
+	return doc.OtherData, events
+}
+
+// TestChromeExportAfterRingWrap: exporting a recorder whose ring
+// wrapped yields only the tail of the stream, still in emission order —
+// Events() rotates the ring back into sequence before WriteChromeTrace
+// serialises it.
+func TestChromeExportAfterRingWrap(t *testing.T) {
+	r := NewRecorder(4, 0, 0)
+	r.BeginRecord(0, 0)
+	for i := 0; i < 11; i++ {
+		r.Emit(Event{Cycle: uint64(100 + i), Kind: EvRecord, Core: 0})
+	}
+	var buf bytes.Buffer
+	meta := map[string]string{"dropped": fmt.Sprint(r.Dropped())}
+	if err := WriteChromeTrace(&buf, r.Events(), meta); err != nil {
+		t.Fatal(err)
+	}
+	got, events := decodeTrace(t, buf.Bytes())
+	if got["dropped"] != "7" {
+		t.Fatalf("dropped meta = %q, want 7", got["dropped"])
+	}
+	if len(events) != 4 {
+		t.Fatalf("exported %d events, want the 4 the ring holds", len(events))
+	}
+	for i, e := range events {
+		if want := float64(107 + i); e.Ts != want {
+			t.Fatalf("event %d: ts %v, want %v (tail of the stream, in order)", i, e.Ts, want)
+		}
+	}
+}
+
+// TestChromeExportEmptyRecorder: a recorder that captured nothing still
+// exports a loadable document — an empty traceEvents array with the
+// metadata object intact (nil meta becomes {}, not null, so Perfetto's
+// loader does not choke).
+func TestChromeExportEmptyRecorder(t *testing.T) {
+	r := NewRecorder(16, 0, 0)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("traceEvents = %v, want present and empty", doc.TraceEvents)
+	}
+	if doc.OtherData == nil {
+		t.Fatal("otherData should be an object, not null")
+	}
+}
+
+// TestChromeExportWhileRecording: Events() hands the exporter a private
+// copy, so serialisation can proceed on another goroutine while the
+// simulation thread keeps emitting into (and wrapping) the ring. Run
+// under -race this pins the snapshot/continue contract tempo-sim relies
+// on when it exports mid-run.
+func TestChromeExportWhileRecording(t *testing.T) {
+	r := NewRecorder(64, 0, 0)
+	r.BeginRecord(0, 0)
+	for i := 0; i < 32; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: EvRecord})
+	}
+	snap := r.Events()
+
+	done := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		err := WriteChromeTrace(&buf, snap, map[string]string{"phase": "mid-run"})
+		if err == nil {
+			_, events := decodeTrace(t, buf.Bytes())
+			if len(events) != 32 {
+				err = fmt.Errorf("snapshot exported %d events, want 32", len(events))
+			}
+		}
+		done <- err
+	}()
+
+	// Keep recording past the ring capacity while the export runs.
+	for i := 32; i < 200; i++ {
+		r.Emit(Event{Cycle: uint64(i), Kind: EvRecord})
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 64 || r.Dropped() == 0 {
+		t.Fatalf("recorder should have kept capturing: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	// The snapshot is immutable: still the first 32 cycles.
+	for i, e := range snap {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("snapshot mutated by later recording: event %d cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+// TestChromeEventOfAllKinds: every event kind maps to a trace event
+// without panicking, even with out-of-range selector fields (A/B come
+// from simulator enums today, but the exporter must not trust them).
+func TestChromeEventOfAllKinds(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		for _, core := range []int16{0, -1} {
+			e := Event{Kind: k, Core: core, A: 255, B: 255, Aux: PackDRAMAux(1, 2, 3)}
+			ce := chromeEventOf(e)
+			if ce.Name == "" {
+				t.Fatalf("kind %v: empty name", k)
+			}
+			if ce.Ph == "" {
+				t.Fatalf("kind %v: empty phase", k)
+			}
+		}
+	}
+}
+
+// TestChromeExportPropagatesWriteError: a failing sink surfaces as the
+// export's return value instead of a partial silent trace.
+func TestChromeExportPropagatesWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	w := &failAfterWriter{n: 10, err: wantErr}
+	events := []Event{{Cycle: 1, Kind: EvRecord}, {Cycle: 2, Kind: EvRecord}}
+	if err := WriteChromeTrace(w, events, nil); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+// failAfterWriter accepts n writes then fails every call.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}

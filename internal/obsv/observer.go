@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 )
 
 // Options configures an Observer.
@@ -44,6 +45,12 @@ type Observer struct {
 	sink  io.Writer
 	epoch uint64
 	prev  Snapshot
+
+	// lastMu guards last: FlushInterval publishes on the simulation
+	// thread, LastSnapshot is read by the introspection server's
+	// goroutines.
+	lastMu sync.Mutex
+	last   Snapshot
 }
 
 // New builds an Observer from Options.
@@ -82,6 +89,9 @@ func (o *Observer) FlushInterval(extra map[string]any) error {
 	cur := o.Reg.Snapshot()
 	d := cur.Delta(o.prev)
 	o.prev = cur
+	o.lastMu.Lock()
+	o.last = cur
+	o.lastMu.Unlock()
 
 	line := make(map[string]any, len(extra)+3)
 	line["epoch"] = o.epoch
@@ -120,6 +130,25 @@ func (o *Observer) FlushInterval(extra map[string]any) error {
 		return fmt.Errorf("obsv: interval snapshot: %w", err)
 	}
 	return nil
+}
+
+// LastSnapshot returns the registry snapshot taken at the most recent
+// interval flush (a zero snapshot before the first). It is safe to
+// call from any goroutine while the simulation runs — unlike
+// Reg.Snapshot, whose lazy gauges read simulator state that only the
+// simulation thread may touch — so it is what the introspection
+// server's /metrics endpoint scrapes. Nil-safe.
+func (o *Observer) LastSnapshot() Snapshot {
+	if o == nil {
+		return Snapshot{Counters: map[string]uint64{}, Hists: map[string]HistSnapshot{}}
+	}
+	o.lastMu.Lock()
+	defer o.lastMu.Unlock()
+	s := o.last
+	if s.Counters == nil {
+		s = Snapshot{Counters: map[string]uint64{}, Hists: map[string]HistSnapshot{}}
+	}
+	return s
 }
 
 // Epochs returns how many interval snapshots have been written.

@@ -1,0 +1,100 @@
+package serve
+
+import "sync"
+
+// Broadcaster fans written lines out to any number of subscribers —
+// the bridge between the simulator's interval-stats JSONL sink (an
+// io.Writer) and the introspection server's /events SSE stream. It
+// implements io.Writer so it can sit inside an io.MultiWriter next to
+// the on-disk sink; each Write is one logical event (the interval
+// emitters write whole lines).
+//
+// Delivery is best-effort: a subscriber that stops draining loses
+// events rather than stalling the simulation (each subscription has a
+// bounded buffer, and a full buffer drops the event for that
+// subscriber only). Dropped counts are tracked per subscription and
+// reported on the stream.
+type Broadcaster struct {
+	mu   sync.Mutex
+	subs map[*subscription]struct{}
+}
+
+// subBuffer bounds each subscription's backlog (events).
+const subBuffer = 256
+
+type subscription struct {
+	ch      chan []byte
+	dropped uint64
+}
+
+// NewBroadcaster builds an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*subscription]struct{})}
+}
+
+// Write broadcasts p (one event, trailing newline trimmed) to every
+// subscriber. It never blocks and never fails; the returned length is
+// always len(p) so an io.MultiWriter keeps feeding the other sinks.
+func (b *Broadcaster) Write(p []byte) (int, error) {
+	if b == nil {
+		return len(p), nil
+	}
+	trimmed := p
+	for len(trimmed) > 0 && (trimmed[len(trimmed)-1] == '\n' || trimmed[len(trimmed)-1] == '\r') {
+		trimmed = trimmed[:len(trimmed)-1]
+	}
+	if len(trimmed) == 0 {
+		return len(p), nil
+	}
+	// One copy shared by all subscribers: writers reuse their buffers.
+	ev := make([]byte, len(trimmed))
+	copy(ev, trimmed)
+	b.mu.Lock()
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+// Subscribe registers a new subscriber, returning its event channel
+// and a cancel function that must be called exactly once when done.
+func (b *Broadcaster) Subscribe() (<-chan []byte, func()) {
+	s := &subscription{ch: make(chan []byte, subBuffer)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		delete(b.subs, s)
+		b.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// Subscribers reports the current subscriber count (for the index
+// page and tests).
+func (b *Broadcaster) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// dropsOf reads a subscription's drop count (serve-side reporting).
+func (b *Broadcaster) dropsOf(ch <-chan []byte) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		if s.ch == ch {
+			return s.dropped
+		}
+	}
+	return 0
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/runner"
+)
+
+// promLine matches one sample of the text exposition format: a metric
+// name (optionally with an le label) and an integer value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\+Inf|\d+)"\})? \d+$`)
+
+func testSnapshot() obsv.Snapshot {
+	reg := obsv.NewRegistry()
+	reg.Counter("core0/tlb/misses").Add(42)
+	reg.Counter("mem/tempo_prefetches").Add(7)
+	h := reg.Histogram("core0/walk/latency")
+	h.Observe(1)
+	h.Observe(100)
+	h.Observe(100000)
+	return reg.Snapshot()
+}
+
+func TestWritePrometheusValidExposition(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var samples int
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || (parts[3] != "counter" && parts[3] != "histogram") {
+				t.Errorf("bad TYPE line %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, want := range []string{
+		"tempo_core0_tlb_misses 42",
+		"tempo_mem_tempo_prefetches 7",
+		`tempo_core0_walk_latency_bucket{le="1"} 1`,
+		`tempo_core0_walk_latency_bucket{le="127"} 2`,
+		`tempo_core0_walk_latency_bucket{le="+Inf"} 3`,
+		"tempo_core0_walk_latency_sum 100101",
+		"tempo_core0_walk_latency_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Cumulative bucket counts must be non-decreasing in le order, ending
+// at _count — the property Prometheus quantile math depends on.
+func TestWritePrometheusBucketsCumulative(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	var last uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts decreased: %q after %d", line, prev)
+		}
+		prev, last = v, v
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	tel := &runner.Telemetry{}
+	tel.Progress() // nil-safety smoke: zero-state poll before any batch
+	bc := NewBroadcaster()
+	snap := testSnapshot()
+	srv := New(Options{
+		Metrics:   func() obsv.Snapshot { return snap },
+		Telemetry: tel,
+		Events:    bc,
+		Meta:      map[string]string{"scale": "quick"},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, b.String()
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 || !strings.Contains(body, "tempo_core0_tlb_misses 42") {
+		t.Fatalf("/metrics: status %d body %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+
+	resp, body = get("/runs")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/runs: status %d", resp.StatusCode)
+	}
+	var p runner.Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/runs not JSON: %v (%q)", err, body)
+	}
+
+	resp, body = get("/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "/metrics") || !strings.Contains(body, "scale: quick") {
+		t.Fatalf("index: status %d body %q", resp.StatusCode, body)
+	}
+	if resp, _ := get("/nosuch"); resp.StatusCode != 404 {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, body = get("/debug/pprof/cmdline")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+	_ = body
+}
+
+func TestServerEndpointsWithoutSources(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/runs", "/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("%s without source: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// The SSE stream must deliver lines written to the broadcaster, in
+// order, framed as data: events.
+func TestEventsStreamDelivers(t *testing.T) {
+	bc := NewBroadcaster()
+	srv := New(Options{Events: bc})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	// First frame is the liveness comment.
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ":") {
+		t.Fatalf("want comment preamble, got %q err %v", line, err)
+	}
+
+	// Wait for the subscription to land before publishing.
+	deadline := time.Now().Add(2 * time.Second)
+	for bc.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(bc, `{"epoch":%d}`+"\n", i)
+	}
+	var got []string
+	for len(got) < 3 {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v (got %v)", err, got)
+		}
+		if strings.HasPrefix(line, "data: ") {
+			got = append(got, strings.TrimSpace(strings.TrimPrefix(line, "data: ")))
+		}
+	}
+	for i, g := range got {
+		if want := fmt.Sprintf(`{"epoch":%d}`, i); g != want {
+			t.Errorf("event %d = %q, want %q", i, g, want)
+		}
+	}
+}
+
+// A subscriber that never drains loses events without blocking the
+// writer — the simulation must not stall on a stuck client.
+func TestBroadcasterDropsWhenSlow(t *testing.T) {
+	bc := NewBroadcaster()
+	ch, cancel := bc.Subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+50; i++ {
+		done := make(chan struct{})
+		go func() {
+			fmt.Fprintf(bc, "event %d\n", i)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("Write blocked on a slow subscriber")
+		}
+	}
+	if d := bc.dropsOf(ch); d != 50 {
+		t.Fatalf("dropped = %d, want 50", d)
+	}
+	if len(ch) != subBuffer {
+		t.Fatalf("buffered = %d, want %d", len(ch), subBuffer)
+	}
+}
+
+func TestServerStartAndClose(t *testing.T) {
+	srv := New(Options{Metrics: func() obsv.Snapshot { return testSnapshot() }})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

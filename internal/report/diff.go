@@ -1,0 +1,208 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DiffEntry is one numeric leaf compared across two JSON documents.
+type DiffEntry struct {
+	// Path is the dotted path of the leaf ("xsbench_tempo.after.ns_per_record").
+	Path string
+	// Old and New are the two values; OnlyOld/OnlyNew mark leaves
+	// present on one side.
+	Old, New         float64
+	OnlyOld, OnlyNew bool
+	// Change is the relative change (New-Old)/Old; 0 when Old is 0.
+	Change float64
+	// Direction is +1 when higher is better, -1 when lower is better,
+	// 0 when the leaf name implies no direction (informational only).
+	Direction int
+	// Regression reports whether the change exceeds the threshold in
+	// the bad direction.
+	Regression bool
+}
+
+// higherBetter and lowerBetter map metric leaf names to a quality
+// direction. Paths whose final segment matches neither are reported
+// but never gate.
+var higherBetter = map[string]bool{
+	"records_per_sec": true, "speedup": true, "ipc": true,
+	"weighted_speedup": true, "rate_per_sec": true, "hit_rate": true,
+	"energy_gain": true, "tempo_ipc": true, "base_ipc": true,
+}
+
+var lowerBetter = map[string]bool{
+	"ns_per_record": true, "bytes_per_record": true, "allocs_per_record": true,
+	"p50": true, "p95": true, "p99": true, "wall_ms": true, "mean": true,
+	"eta_ms": true, "elapsed_ms": true, "mean_exec_ms": true,
+}
+
+// direction classifies a dotted path by its final segment (and its
+// suffix, so "ptw_hit_rate" inherits hit_rate's direction).
+func direction(path string) int {
+	leaf := path
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		leaf = path[i+1:]
+	}
+	for name := range higherBetter {
+		if leaf == name || strings.HasSuffix(leaf, "_"+name) {
+			return 1
+		}
+	}
+	for name := range lowerBetter {
+		if leaf == name || strings.HasSuffix(leaf, "_"+name) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// flattenJSON walks doc collecting numeric leaves under dotted paths.
+// Arrays index numerically ("rows.0.speedup"). Non-numeric leaves are
+// ignored: the diff gates on measurements, not labels.
+func flattenJSON(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenJSON(p, val, out)
+		}
+	case []any:
+		for i, val := range x {
+			p := strconv.Itoa(i)
+			if prefix != "" {
+				p = prefix + "." + p
+			}
+			flattenJSON(p, val, out)
+		}
+	case float64:
+		out[prefix] = x
+	case json.Number:
+		if f, err := x.Float64(); err == nil {
+			out[prefix] = f
+		}
+	}
+}
+
+// Diff compares the numeric leaves of two JSON documents. maxRegress
+// is the tolerated relative worsening (0.05 = 5%): a leaf whose name
+// implies a quality direction and whose value moved beyond the
+// threshold in the bad direction is marked a regression. Leaves with
+// no implied direction, and leaves present on only one side, are
+// reported but never regress. Entries come back sorted by path.
+func Diff(oldDoc, newDoc []byte, maxRegress float64) ([]DiffEntry, error) {
+	var oldV, newV any
+	if err := json.Unmarshal(oldDoc, &oldV); err != nil {
+		return nil, fmt.Errorf("report: old document: %w", err)
+	}
+	if err := json.Unmarshal(newDoc, &newV); err != nil {
+		return nil, fmt.Errorf("report: new document: %w", err)
+	}
+	oldLeaves := make(map[string]float64)
+	newLeaves := make(map[string]float64)
+	flattenJSON("", oldV, oldLeaves)
+	flattenJSON("", newV, newLeaves)
+
+	paths := make(map[string]bool, len(oldLeaves)+len(newLeaves))
+	for p := range oldLeaves {
+		paths[p] = true
+	}
+	for p := range newLeaves {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	var out []DiffEntry
+	for _, p := range sorted {
+		o, hasOld := oldLeaves[p]
+		n, hasNew := newLeaves[p]
+		e := DiffEntry{Path: p, Old: o, New: n, Direction: direction(p)}
+		switch {
+		case !hasOld:
+			e.OnlyNew = true
+		case !hasNew:
+			e.OnlyOld = true
+		default:
+			if o != 0 {
+				e.Change = (n - o) / o
+			}
+			switch e.Direction {
+			case -1: // lower is better: growth is a regression
+				if o != 0 {
+					e.Regression = e.Change > maxRegress
+				} else {
+					e.Regression = n > 0 && maxRegress < 1
+				}
+			case 1: // higher is better: shrinkage is a regression
+				if o != 0 {
+					e.Regression = -e.Change > maxRegress
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Regressions filters a diff down to its regressions.
+func Regressions(entries []DiffEntry) []DiffEntry {
+	var out []DiffEntry
+	for _, e := range entries {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FormatDiff renders a diff as an aligned text report, marking
+// regressions and one-sided leaves.
+func FormatDiff(entries []DiffEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		switch {
+		case e.OnlyNew:
+			fmt.Fprintf(&b, "  %-50s (new)          %12.4g\n", e.Path, e.New)
+		case e.OnlyOld:
+			fmt.Fprintf(&b, "  %-50s (removed)      %12.4g\n", e.Path, e.Old)
+		default:
+			mark := " "
+			if e.Regression {
+				mark = "R"
+			}
+			fmt.Fprintf(&b, "%s %-50s %12.4g -> %12.4g  %+7.2f%%\n",
+				mark, e.Path, e.Old, e.New, e.Change*100)
+		}
+	}
+	return b.String()
+}
+
+// ParseThreshold parses a -max-regress value: "5%" or "0.05" both mean
+// a 5% tolerated worsening.
+func ParseThreshold(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("report: threshold %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("report: threshold must be non-negative, got %v", v)
+	}
+	return v, nil
+}

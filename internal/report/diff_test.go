@@ -1,0 +1,139 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// The bench-summary shape bench.sh emits, with a synthetic 10%
+// throughput regression — the fixture the CI gate semantics are
+// specified against.
+const diffOld = `{
+  "xsbench_tempo": {
+    "after": {"records_per_sec": 1000000, "ns_per_record": 1000, "allocs_per_record": 0},
+    "speedup": 2.5
+  },
+  "records_per_run": 300000
+}`
+
+const diffRegressed = `{
+  "xsbench_tempo": {
+    "after": {"records_per_sec": 900000, "ns_per_record": 1111, "allocs_per_record": 0},
+    "speedup": 2.25
+  },
+  "records_per_run": 300000
+}`
+
+const diffImproved = `{
+  "xsbench_tempo": {
+    "after": {"records_per_sec": 1200000, "ns_per_record": 833, "allocs_per_record": 0},
+    "speedup": 3.0
+  },
+  "records_per_run": 300000
+}`
+
+func TestDiffFlagsTenPercentRegression(t *testing.T) {
+	entries, err := Diff([]byte(diffOld), []byte(diffRegressed), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(entries)
+	if len(regs) == 0 {
+		t.Fatal("10% regression not flagged at 5% threshold")
+	}
+	paths := map[string]bool{}
+	for _, r := range regs {
+		paths[r.Path] = true
+	}
+	for _, want := range []string{
+		"xsbench_tempo.after.records_per_sec",
+		"xsbench_tempo.after.ns_per_record",
+		"xsbench_tempo.speedup",
+	} {
+		if !paths[want] {
+			t.Errorf("expected regression at %s, got %v", want, paths)
+		}
+	}
+	// records_per_run has no quality direction: informational only.
+	if paths["records_per_run"] {
+		t.Error("directionless leaf gated the diff")
+	}
+}
+
+func TestDiffTolerantThresholdPasses(t *testing.T) {
+	entries, err := Diff([]byte(diffOld), []byte(diffRegressed), 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(entries); len(regs) != 0 {
+		t.Fatalf("10%% regression flagged at 50%% threshold: %v", regs)
+	}
+}
+
+func TestDiffImprovementIsNotRegression(t *testing.T) {
+	entries, err := Diff([]byte(diffOld), []byte(diffImproved), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(entries); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// allocs_per_record going 0 → nonzero must regress even though the
+// relative change against zero is undefined — the bench guard's
+// zero-alloc pin expressed as a diff rule.
+func TestDiffZeroBaselineAllocRegression(t *testing.T) {
+	old := `{"after": {"allocs_per_record": 0}}`
+	bad := `{"after": {"allocs_per_record": 2}}`
+	entries, err := Diff([]byte(old), []byte(bad), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regressions(entries)) != 1 {
+		t.Fatalf("alloc growth from zero not flagged: %+v", entries)
+	}
+}
+
+func TestDiffOneSidedLeavesAreInformational(t *testing.T) {
+	old := `{"a": {"ns_per_record": 5}}`
+	new := `{"b": {"ns_per_record": 500}}`
+	entries, err := Diff([]byte(old), []byte(new), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Regressions(entries)) != 0 {
+		t.Fatal("one-sided leaves must not gate")
+	}
+	var onlyOld, onlyNew int
+	for _, e := range entries {
+		if e.OnlyOld {
+			onlyOld++
+		}
+		if e.OnlyNew {
+			onlyNew++
+		}
+	}
+	if onlyOld != 1 || onlyNew != 1 {
+		t.Fatalf("one-sided accounting: onlyOld=%d onlyNew=%d", onlyOld, onlyNew)
+	}
+	out := FormatDiff(entries)
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "(removed)") {
+		t.Fatalf("FormatDiff missing one-sided markers:\n%s", out)
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	cases := map[string]float64{"5%": 0.05, "0.05": 0.05, "50%": 0.50, "0": 0}
+	for in, want := range cases {
+		got, err := ParseThreshold(in)
+		if err != nil || got != want {
+			t.Errorf("ParseThreshold(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x%", "-1%"} {
+		if _, err := ParseThreshold(bad); err == nil {
+			t.Errorf("ParseThreshold(%q) accepted", bad)
+		}
+	}
+}

@@ -133,6 +133,61 @@ func (t *Telemetry) etaLocked() time.Duration {
 	return mean * time.Duration(remaining) / time.Duration(par)
 }
 
+// Progress is a point-in-time view of batch execution, shaped for the
+// introspection server's /runs endpoint and for polling UIs.
+type Progress struct {
+	// Total is the number of jobs opened across all batches; Done of
+	// them have completed, split into Executed, Cached and Failed.
+	Total    int `json:"total"`
+	Done     int `json:"done"`
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+	Failed   int `json:"failed"`
+	// Parallelism is the worker count of the most recent batch.
+	Parallelism int `json:"parallelism"`
+	// ElapsedMS is wall-clock since the first job was opened; 0 before
+	// any batch starts.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// EtaMS estimates time to drain the remainder; 0 when nothing
+	// remains or nothing has executed yet (a cached-only batch gives
+	// no basis for an estimate).
+	EtaMS float64 `json:"eta_ms"`
+	// MeanExecMS is the mean wall-clock of executed (non-cached) jobs;
+	// 0 when none executed.
+	MeanExecMS float64 `json:"mean_exec_ms"`
+	// RatePerSec is completed jobs (cached included) per elapsed
+	// second; 0 while elapsed is 0.
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// Progress snapshots the totals seen so far. Every derived field is
+// guarded against empty and cached-only batches: a batch with zero
+// jobs, or one served entirely from cache (executed == 0), reports
+// zero ETA/mean/rate instead of dividing by zero. Nil-safe.
+func (t *Telemetry) Progress() Progress {
+	if t == nil {
+		return Progress{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := Progress{
+		Total: t.total, Done: t.done, Executed: t.executed,
+		Cached: t.cached, Failed: t.failed, Parallelism: t.parallelism,
+	}
+	if !t.start.IsZero() {
+		elapsed := t.now().Sub(t.start)
+		p.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		if elapsed > 0 && t.done > 0 {
+			p.RatePerSec = float64(t.done) / elapsed.Seconds()
+		}
+	}
+	if t.executed > 0 {
+		p.MeanExecMS = float64(t.execWall/time.Duration(t.executed)) / float64(time.Millisecond)
+	}
+	p.EtaMS = float64(t.etaLocked()) / float64(time.Millisecond)
+	return p
+}
+
 // warnf surfaces non-fatal engine conditions (cache write failures).
 func (t *Telemetry) warnf(format string, args ...any) {
 	t.mu.Lock()

@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTelemetryProgressGuards drives the ETA/rate math through the
+// degenerate batch shapes: empty, cached-only (executed == 0), failed
+// and mixed. Every derived field must stay finite and the zero-basis
+// cases must report zero rather than NaN/Inf.
+func TestTelemetryProgressGuards(t *testing.T) {
+	base := time.Unix(1000, 0)
+	cases := []struct {
+		name  string
+		drive func(tel *Telemetry, clock *time.Time)
+		want  Progress
+	}{
+		{
+			name:  "no batch at all",
+			drive: func(tel *Telemetry, clock *time.Time) {},
+			want:  Progress{},
+		},
+		{
+			name: "empty batch",
+			drive: func(tel *Telemetry, clock *time.Time) {
+				tel.begin(0, 4)
+				*clock = clock.Add(2 * time.Second)
+			},
+			want: Progress{Parallelism: 4, ElapsedMS: 2000},
+		},
+		{
+			name: "cached-only batch has no ETA basis",
+			drive: func(tel *Telemetry, clock *time.Time) {
+				tel.begin(4, 2)
+				*clock = clock.Add(time.Second)
+				tel.note(JobResult{Key: "a", FromCache: true})
+				tel.note(JobResult{Key: "b", FromCache: true})
+			},
+			want: Progress{
+				Total: 4, Done: 2, Cached: 2, Parallelism: 2,
+				ElapsedMS: 1000, RatePerSec: 2,
+			},
+		},
+		{
+			name: "failures only still no ETA basis",
+			drive: func(tel *Telemetry, clock *time.Time) {
+				tel.begin(2, 1)
+				*clock = clock.Add(time.Second)
+				tel.note(JobResult{Key: "a", Err: errors.New("boom")})
+			},
+			want: Progress{
+				Total: 2, Done: 1, Failed: 1, Parallelism: 1,
+				ElapsedMS: 1000, RatePerSec: 1,
+			},
+		},
+		{
+			name: "executed jobs drive the ETA",
+			drive: func(tel *Telemetry, clock *time.Time) {
+				tel.begin(4, 2)
+				*clock = clock.Add(2 * time.Second)
+				tel.note(JobResult{Key: "a", Wall: time.Second})
+				tel.note(JobResult{Key: "b", Wall: 3 * time.Second})
+			},
+			want: Progress{
+				Total: 4, Done: 2, Executed: 2, Parallelism: 2,
+				ElapsedMS: 2000, RatePerSec: 1,
+				MeanExecMS: 2000,
+				// mean 2s × 2 remaining / 2 workers
+				EtaMS: 2000,
+			},
+		},
+		{
+			name: "finished batch has zero ETA",
+			drive: func(tel *Telemetry, clock *time.Time) {
+				tel.begin(1, 1)
+				*clock = clock.Add(time.Second)
+				tel.note(JobResult{Key: "a", Wall: time.Second})
+			},
+			want: Progress{
+				Total: 1, Done: 1, Executed: 1, Parallelism: 1,
+				ElapsedMS: 1000, RatePerSec: 1, MeanExecMS: 1000,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := base
+			tel := &Telemetry{Now: func() time.Time { return clock }}
+			tc.drive(tel, &clock)
+			got := tel.Progress()
+			for name, v := range map[string]float64{
+				"ElapsedMS": got.ElapsedMS, "EtaMS": got.EtaMS,
+				"MeanExecMS": got.MeanExecMS, "RatePerSec": got.RatePerSec,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+			if got != tc.want {
+				t.Errorf("Progress = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// A nil Telemetry must be safe to poll — the introspection server
+// serves /runs unconditionally.
+func TestTelemetryProgressNil(t *testing.T) {
+	var tel *Telemetry
+	if got := tel.Progress(); got != (Progress{}) {
+		t.Fatalf("nil Progress = %+v, want zero", got)
+	}
+}

@@ -447,6 +447,7 @@ func (c *Core) impIssue() {
 		}
 		tr, lvl := c.tlb.Lookup(target)
 		if lvl == tlb.Miss {
+			c.st.IMPWalks++
 			res := c.walker.Walk(target, c.now, backgroundPort{c})
 			if !res.OK {
 				continue

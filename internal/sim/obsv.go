@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obsv"
+	"repro/internal/stats"
 )
 
 // Attach wires an observer into an assembled system. It must be called
@@ -43,14 +44,18 @@ func (s *System) Attach(o *obsv.Observer) {
 	}
 	if o.Reg != nil {
 		s.ctrl.QDepth = o.Reg.Histogram("dram/queue_depth")
-		mst := s.mst
-		o.Reg.Gauge("mem/reads", func() uint64 { return mst.RdCount })
-		o.Reg.Gauge("mem/writes", func() uint64 { return mst.WrCount })
-		o.Reg.Gauge("mem/refreshes", func() uint64 { return mst.RefCount })
-		o.Reg.Gauge("mem/leaf_pt_reads", func() uint64 { return mst.DRAMPTWLeaf })
-		o.Reg.Gauge("mem/tempo_triggers", func() uint64 { return mst.TempoTriggers })
-		o.Reg.Gauge("mem/tempo_prefetches", func() uint64 { return mst.TempoPrefetches })
-		o.Reg.Gauge("mem/tempo_suppressed", func() uint64 { return mst.TempoSuppressed })
+		// Every canonical cross-subsystem metric (obsv.Metric*) becomes a
+		// lazy gauge over the merged system view — the same Stats merge
+		// Run uses for Result.Total, so live snapshots satisfy the same
+		// obsv.Audit conservation checks as end-of-run results. Gauges
+		// fire only at snapshot time, on the simulation thread.
+		obsv.RegisterStatsGauges(o.Reg, func() stats.Stats {
+			t := *s.mst
+			for _, c := range s.cores {
+				t.Add(c.st)
+			}
+			return t
+		})
 	}
 }
 

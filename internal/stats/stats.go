@@ -170,9 +170,13 @@ type Stats struct {
 	TempoLLCFills   uint64 // prefetched lines filled into LLC
 	TempoUseful     uint64 // prefetched lines consumed by a replay
 
-	// IMP prefetcher counters.
+	// IMP prefetcher counters. IMPWalks counts the background page
+	// walks IMP performs to translate prefetch targets that miss the
+	// TLB — walks not driven by a demand TLB miss, so the walk/miss
+	// conservation law is WalksStarted ≤ TLBMisses + IMPWalks.
 	IMPPrefetches uint64
 	IMPUseful     uint64
+	IMPWalks      uint64
 
 	// Cache hierarchy counters (demand accesses only).
 	L1Hits, L1Misses   uint64
@@ -377,6 +381,7 @@ func (s *Stats) Add(o *Stats) {
 	s.TempoUseful += o.TempoUseful
 	s.IMPPrefetches += o.IMPPrefetches
 	s.IMPUseful += o.IMPUseful
+	s.IMPWalks += o.IMPWalks
 	s.L1Hits += o.L1Hits
 	s.L1Misses += o.L1Misses
 	s.L2Hits += o.L2Hits

@@ -10,6 +10,12 @@
 # baseline (captured on the goroutine-coroutine scheduler at commit
 # de0e01d) so the speedup is tracked in-repo.
 #
+# Besides regenerating BENCH_hotpath.json (the "latest" snapshot that
+# `tempo-report diff` gates against), each run appends one timestamped
+# record to BENCH_history.jsonl, the cumulative measurement log — plot
+# it or diff any two eras with
+#   tempo-report diff <(sed -n 1p BENCH_history.jsonl) <(sed -n '$p' BENCH_history.jsonl)
+#
 # Usage:  scripts/bench.sh [records-per-run]   (default 300000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,3 +72,19 @@ cat > "${OUT}" <<EOF
 EOF
 echo "wrote ${OUT}" >&2
 cat "${OUT}"
+
+# Append this measurement to the cumulative history, one JSON object
+# per line, stamped with wall-clock time and the source revision.
+HISTORY="BENCH_history.jsonl"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DIRTY=""
+if ! git diff --quiet 2>/dev/null || ! git diff --cached --quiet 2>/dev/null; then
+  DIRTY="-dirty"
+fi
+# Fold the pretty-printed snapshot onto one line (strip indentation
+# and newlines only — spaces inside string values stay intact).
+printf '{"timestamp":"%s","commit":"%s","hotpath":%s}\n' \
+  "${STAMP}" "${COMMIT}${DIRTY}" \
+  "$(sed 's/^[[:space:]]*//' "${OUT}" | tr -d '\n')" >> "${HISTORY}"
+echo "appended ${HISTORY} (${STAMP}, ${COMMIT}${DIRTY})" >&2

@@ -1,8 +1,15 @@
 // Command lint-docs enforces the repository's documentation floor
 // (OBSERVABILITY.md grew out of the same audit): every package must
-// carry a package-level doc comment. Missing package docs are fatal;
-// exported declarations without doc comments are reported as warnings
-// so the gap is visible without blocking CI on legacy symbols.
+// carry a package-level doc comment, and every cmd/ binary's doc
+// comment must mention each flag the binary defines by name (so
+// `go doc ./cmd/tempo-bench` is a complete usage reference). Missing
+// package docs and undocumented flags are fatal; exported declarations
+// without doc comments are reported as warnings so the gap is visible
+// without blocking CI on legacy symbols.
+//
+// Flag mentions are matched boundary-aware: "-trace" in the doc
+// satisfies a flag named "trace", but "-trace-events" does not, so a
+// rename cannot silently leave a stale cousin covering for it.
 //
 // Run from the repository root (CI does):
 //
@@ -32,7 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var missingPkg []string
+	var fatal []string
 	warnings := 0
 	for _, dir := range dirs {
 		fset := token.NewFileSet()
@@ -45,23 +52,116 @@ func main() {
 		}
 		for name, pkg := range pkgs {
 			if !hasPackageDoc(pkg) {
-				missingPkg = append(missingPkg, fmt.Sprintf("%s (package %s)", dir, name))
+				fatal = append(fatal, fmt.Sprintf("no package doc comment: %s (package %s)", dir, name))
 			}
 			warnings += reportUndocumentedExports(fset, pkg)
+			if name == "main" && strings.HasPrefix(filepath.ToSlash(dir), "cmd/") {
+				for _, flagName := range undocumentedFlags(pkg) {
+					fatal = append(fatal, fmt.Sprintf(
+						"%s: doc comment does not mention flag -%s", dir, flagName))
+				}
+			}
 		}
 	}
 
 	if warnings > 0 {
 		fmt.Fprintf(os.Stderr, "lint-docs: %d exported declarations without doc comments (warnings)\n", warnings)
 	}
-	if len(missingPkg) > 0 {
-		sort.Strings(missingPkg)
-		for _, m := range missingPkg {
-			fmt.Fprintf(os.Stderr, "lint-docs: FATAL: no package doc comment: %s\n", m)
+	if len(fatal) > 0 {
+		sort.Strings(fatal)
+		for _, m := range fatal {
+			fmt.Fprintf(os.Stderr, "lint-docs: FATAL: %s\n", m)
 		}
 		os.Exit(1)
 	}
 	fmt.Printf("lint-docs: %d packages documented, %d export warnings\n", len(dirs), warnings)
+}
+
+// flagDefs maps flag-package constructor method names to the argument
+// index holding the flag's name. Covers both the package-level funcs
+// (flag.String) and FlagSet methods (fs.String), which share names.
+var flagDefs = map[string]int{
+	"String": 0, "Bool": 0, "Int": 0, "Int64": 0, "Uint": 0, "Uint64": 0,
+	"Float64": 0, "Duration": 0,
+	"StringVar": 1, "BoolVar": 1, "IntVar": 1, "Int64Var": 1, "UintVar": 1,
+	"Uint64Var": 1, "Float64Var": 1, "DurationVar": 1, "TextVar": 1,
+	"Var": 1, "Func": 0, "BoolFunc": 0,
+}
+
+// undocumentedFlags returns the names of flags the package defines
+// whose doc comment never mentions them as "-name" (boundary-aware:
+// the character after the name must not continue an identifier, so
+// "-trace-events" cannot satisfy a flag named "trace").
+func undocumentedFlags(pkg *ast.Package) []string {
+	var doc strings.Builder
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			doc.WriteString(f.Doc.Text())
+			doc.WriteString("\n")
+		}
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := flagDefs[sel.Sel.Name]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			lit, ok := call.Args[idx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name := strings.Trim(lit.Value, `"`)
+			if name == "" || seen[name] {
+				return true
+			}
+			seen[name] = true
+			if !docMentionsFlag(doc.String(), name) {
+				missing = append(missing, name)
+			}
+			return true
+		})
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// docMentionsFlag reports whether doc contains "-name" at a flag-name
+// boundary: not preceded by an identifier character (which would make
+// it the tail of a longer flag like -trace-events) and not followed by
+// one of [a-zA-Z0-9_-] (which would make it a prefix of one).
+func docMentionsFlag(doc, name string) bool {
+	pat := "-" + name
+	for i := 0; ; {
+		j := strings.Index(doc[i:], pat)
+		if j < 0 {
+			return false
+		}
+		j += i
+		i = j + 1
+		if j > 0 && isFlagChar(doc[j-1]) {
+			continue // tail of a longer name: "...ce-events" vs "-events"
+		}
+		if end := j + len(pat); end < len(doc) && isFlagChar(doc[end]) {
+			continue // prefix of a longer name: "-trace" vs "-trace-events"
+		}
+		return true
+	}
+}
+
+// isFlagChar reports whether c can appear inside a flag name.
+func isFlagChar(c byte) bool {
+	return c == '-' || c == '_' ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
 }
 
 // packageDirs returns every directory under root containing a

@@ -145,6 +145,16 @@ type (
 	TraceEvent = obsv.Event
 )
 
+// AuditViolation is one failed counter-conservation check.
+type AuditViolation = obsv.AuditViolation
+
+// Audit evaluates the cross-subsystem counter conservation laws (TLB
+// misses bound walks, TEMPO triggers equal prefetches plus
+// suppressions, DRAM reads are conserved across reference categories,
+// ...) against a result's totals, returning every violation (nil when
+// all hold). It is the library form of `tempo-report audit`.
+func Audit(st *Stats) []AuditViolation { return obsv.Audit(obsv.StatsSnapshot(st)) }
+
 // NewSystem assembles a machine without running it, so an Observer can
 // be attached first.
 func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
