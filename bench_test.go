@@ -224,6 +224,39 @@ func BenchmarkHotPathTempo(b *testing.B) {
 	b.ReportMetric(float64(cfg.Records)/b.Elapsed().Seconds(), "records/s")
 }
 
+// BenchmarkHotPathMultiTempo is the multi-programmed counterpart of
+// BenchmarkHotPathTempo: four xsbench cores (distinct seeds) over a
+// shared LLC and memory controller with TEMPO on, so the coordinator's
+// min-clock core picking, run-ahead batching and the scheduler's
+// indexed queue scans are all exercised under contention. One op is
+// one trace record across all cores; records/s is the total simulation
+// throughput. scripts/bench.sh captures it in BENCH_hotpath.json,
+// which the CI perf gate diffs.
+func BenchmarkHotPathMultiTempo(b *testing.B) {
+	const cores = 4
+	cfg := DefaultConfig("xsbench")
+	cfg.Workloads = nil
+	for i := 0; i < cores; i++ {
+		cfg.Workloads = append(cfg.Workloads, WorkloadSpec{
+			Name: "xsbench", Footprint: 256 << 20, Seed: int64(i + 1),
+		})
+	}
+	cfg.SharedAddressSpace = true
+	cfg.Tempo = DefaultTempo()
+	// Records is per core; round b.N up so every core gets equal work.
+	cfg.Records = (b.N + cores - 1) / cores
+	if cfg.Records < 100 {
+		cfg.Records = 100
+	}
+	total := cfg.Records * cores
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "records/s")
+}
+
 // BenchmarkAblationSchedulerAware isolates TEMPO's Section 4.3
 // transaction-queue policies from its prefetching on a 4-core run.
 func BenchmarkAblationSchedulerAware(b *testing.B) {

@@ -5,13 +5,17 @@ package assoc
 
 // Assoc is a set-associative array with LRU replacement mapping uint64
 // keys to values of type V. Sets must be a power of two.
+//
+// Validity is encoded in the stamp array: the LRU clock starts at 1,
+// so a way is occupied exactly when its stamp is non-zero. Probes and
+// victim scans therefore touch two arrays (tags, stamps) instead of
+// three.
 type Assoc[V any] struct {
 	sets, ways int
 	setMask    uint64
 	tick       uint64
-	valid      []bool
 	tags       []uint64
-	stamp      []uint64
+	stamp      []uint64 // 0 = empty way
 	vals       []V
 }
 
@@ -24,7 +28,6 @@ func New[V any](sets, ways int) *Assoc[V] {
 	n := sets * ways
 	return &Assoc[V]{
 		sets: sets, ways: ways, setMask: uint64(sets - 1),
-		valid: make([]bool, n),
 		tags:  make([]uint64, n),
 		stamp: make([]uint64, n),
 		vals:  make([]V, n),
@@ -34,12 +37,15 @@ func New[V any](sets, ways int) *Assoc[V] {
 // Entries returns the total capacity.
 func (a *Assoc[V]) Entries() int { return a.sets * a.ways }
 
-// Lookup probes for key, updating LRU state on a hit.
+// Lookup probes for key, updating LRU state on a hit. The scan tests
+// the tag before the stamp: most ways mismatch, so the common case
+// touches only the packed tag array.
 func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
 	base := int(key&a.setMask) * a.ways
-	for w := 0; w < a.ways; w++ {
-		i := base + w
-		if a.valid[i] && a.tags[i] == key {
+	tags := a.tags[base : base+a.ways]
+	for w, t := range tags {
+		if t == key && a.stamp[base+w] != 0 {
+			i := base + w
 			a.tick++
 			a.stamp[i] = a.tick
 			return a.vals[i], true
@@ -52,10 +58,10 @@ func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
 // Peek probes without touching LRU state.
 func (a *Assoc[V]) Peek(key uint64) (V, bool) {
 	base := int(key&a.setMask) * a.ways
-	for w := 0; w < a.ways; w++ {
-		i := base + w
-		if a.valid[i] && a.tags[i] == key {
-			return a.vals[i], true
+	tags := a.tags[base : base+a.ways]
+	for w, t := range tags {
+		if t == key && a.stamp[base+w] != 0 {
+			return a.vals[base+w], true
 		}
 	}
 	var zero V
@@ -65,27 +71,48 @@ func (a *Assoc[V]) Peek(key uint64) (V, bool) {
 // Insert installs key→val, replacing the LRU way of the set (or
 // updating in place on a key match).
 func (a *Assoc[V]) Insert(key uint64, val V) {
+	victim := a.victimFor(key)
+	a.tick++
+	a.tags[victim] = key
+	a.stamp[victim] = a.tick
+	a.vals[victim] = val
+}
+
+// InsertEvict installs key→val exactly as Insert does, and
+// additionally reports the valid key it displaced, if any. Callers
+// that mirror the array's contents elsewhere use the evicted key to
+// invalidate their copy.
+func (a *Assoc[V]) InsertEvict(key uint64, val V) (evicted uint64, ok bool) {
+	victim := a.victimFor(key)
+	if a.stamp[victim] != 0 && a.tags[victim] != key {
+		evicted, ok = a.tags[victim], true
+	}
+	a.tick++
+	a.tags[victim] = key
+	a.stamp[victim] = a.tick
+	a.vals[victim] = val
+	return evicted, ok
+}
+
+// victimFor picks the way an insertion of key replaces: the way
+// already holding key, else the first empty way, else the LRU way.
+func (a *Assoc[V]) victimFor(key uint64) int {
 	base := int(key&a.setMask) * a.ways
 	victim := base
 	for w := 0; w < a.ways; w++ {
 		i := base + w
-		if a.valid[i] && a.tags[i] == key {
-			victim = i
-			break
+		s := a.stamp[i]
+		if s != 0 && a.tags[i] == key {
+			return i
 		}
-		if !a.valid[i] {
-			victim = i
-			break
+		if s == 0 {
+			return i
 		}
-		if a.stamp[i] < a.stamp[victim] {
+		if s < a.stamp[victim] {
 			victim = i
 		}
 	}
-	a.tick++
-	a.valid[victim] = true
-	a.tags[victim] = key
-	a.stamp[victim] = a.tick
-	a.vals[victim] = val
+	return victim
 }
 
 // Invalidate removes key if present, returning whether it was found.
@@ -93,8 +120,8 @@ func (a *Assoc[V]) Invalidate(key uint64) bool {
 	base := int(key&a.setMask) * a.ways
 	for w := 0; w < a.ways; w++ {
 		i := base + w
-		if a.valid[i] && a.tags[i] == key {
-			a.valid[i] = false
+		if a.stamp[i] != 0 && a.tags[i] == key {
+			a.stamp[i] = 0
 			return true
 		}
 	}
@@ -103,7 +130,7 @@ func (a *Assoc[V]) Invalidate(key uint64) bool {
 
 // Flush empties the array.
 func (a *Assoc[V]) Flush() {
-	for i := range a.valid {
-		a.valid[i] = false
+	for i := range a.stamp {
+		a.stamp[i] = 0
 	}
 }

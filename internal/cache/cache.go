@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 )
@@ -49,31 +50,44 @@ func (r Replacement) String() string {
 	}
 }
 
-type line struct {
-	valid bool
-	dirty bool
-	tag   uint64
-	stamp uint64
-	rrpv  uint8
-	prov  Provenance
-}
+// invalidTag marks an empty way. Tags are the line address with the
+// set-index bits stripped, so the all-ones pattern would need a
+// physical address of at least 2^38 bytes (per 64-set cache) — far
+// beyond any modelled memory; New rejects geometries where a real tag
+// could reach it and index panics should an address overflow one.
+const invalidTag = ^uint32(0)
 
-// Cache is one set-associative write-back cache level.
+// Cache is one set-associative write-back cache level. Each way's tag
+// and LRU stamp are packed into one uint64 (tag high, stamp low), so
+// the victim scan — which needs both — walks a single contiguous
+// array: a whole 8-way set's state is one host cache line instead of
+// spanning separate tag and stamp arrays.
 type Cache struct {
-	name    string
-	sets    int
-	ways    int
-	setMask uint64
-	latency uint64
-	replace Replacement
-	tick    uint64
-	lines   []line
+	name     string
+	sets     int
+	ways     int
+	setMask  uint64
+	setShift uint
+	latency  uint64
+	replace  Replacement
+	tick     uint32
+	lines    []uint64 // tag<<32 | stamp; invalidTag<<32 = empty way
+	meta     []uint8  // dirty bit + RRPV + provenance, packed
 
 	// Hits and Misses count demand lookups.
 	Hits, Misses uint64
 	// Writebacks counts dirty evictions.
 	Writebacks uint64
 }
+
+// meta byte layout: bit 0 dirty, bits 1-2 RRPV, bits 3-4 provenance.
+// One byte per line keeps the fill/hit bookkeeping to a single array
+// write instead of three.
+const (
+	metaDirtyBit  = 1 << 0
+	metaRrpvShift = 1
+	metaProvShift = 3
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -96,15 +110,26 @@ func New(cfg Config) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 || uint64(sets*cfg.Ways)*mem.LineSize != cfg.SizeB {
 		panic(fmt.Sprintf("cache %q: %dB/%d-way does not form a power-of-two set count", cfg.Name, cfg.SizeB, cfg.Ways))
 	}
-	return &Cache{
-		name:    cfg.Name,
-		sets:    sets,
-		ways:    cfg.Ways,
-		setMask: uint64(sets - 1),
-		latency: cfg.LatencyC,
-		replace: cfg.Replace,
-		lines:   make([]line, sets*cfg.Ways),
+	setShift := uint(0)
+	for 1<<setShift < sets {
+		setShift++
 	}
+	n := sets * cfg.Ways
+	c := &Cache{
+		name:     cfg.Name,
+		sets:     sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		setShift: setShift,
+		latency:  cfg.LatencyC,
+		replace:  cfg.Replace,
+		lines:    make([]uint64, n),
+		meta:     make([]uint8, n),
+	}
+	for i := range c.lines {
+		c.lines[i] = uint64(invalidTag) << 32
+	}
+	return c
 }
 
 // Name returns the configured name.
@@ -116,9 +141,53 @@ func (c *Cache) Latency() uint64 { return c.latency }
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
 
-func (c *Cache) index(p mem.PAddr) (base int, tag uint64) {
+func (c *Cache) index(p mem.PAddr) (base int, set uint64, tag uint32) {
 	lineAddr := uint64(p) >> mem.LineShift
-	return int(lineAddr&c.setMask) * c.ways, lineAddr
+	set = lineAddr & c.setMask
+	t := lineAddr >> c.setShift
+	if t >= uint64(invalidTag) {
+		panic(fmt.Sprintf("cache %q: physical address %#x exceeds the representable tag range", c.name, uint64(p)))
+	}
+	return int(set) * c.ways, set, uint32(t)
+}
+
+// lineAddrOf reconstructs the full line address of the way at index i
+// (holding tag) in the given set.
+func (c *Cache) lineAddrOf(set uint64, tag uint32) uint64 {
+	return uint64(tag)<<c.setShift | set
+}
+
+// nextStamp advances the LRU clock. Stamps are 32-bit so they pack
+// beside the tag in one word; when the clock nears wraparound the
+// live stamps are renumbered to 1..k in place.
+func (c *Cache) nextStamp() uint32 {
+	if c.tick == ^uint32(0)-1 {
+		c.compressStamps()
+	}
+	c.tick++
+	return c.tick
+}
+
+// compressStamps renumbers the stamps of valid lines to 1..k,
+// preserving their relative order exactly. Victim selection compares
+// stamps only with <, so the renumbering cannot change any replacement
+// decision. Invalid ways reset to 0; their stamps are never consulted
+// because an empty way preempts the LRU scan. Runs once per ~4 billion
+// touches, so the sort amortizes to nothing.
+func (c *Cache) compressStamps() {
+	idx := make([]int, 0, len(c.lines))
+	for i, e := range c.lines {
+		if uint32(e>>32) != invalidTag {
+			idx = append(idx, i)
+		} else {
+			c.lines[i] = uint64(invalidTag) << 32
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return uint32(c.lines[idx[a]]) < uint32(c.lines[idx[b]]) })
+	for r, i := range idx {
+		c.lines[i] = c.lines[i]&^uint64(^uint32(0)) | uint64(r+1)
+	}
+	c.tick = uint32(len(idx))
 }
 
 // Access looks up the line holding p, updating LRU and hit/miss
@@ -126,18 +195,20 @@ func (c *Cache) index(p mem.PAddr) (base int, tag uint64) {
 // demotes the provenance to FillDemand (a prefetched line is counted
 // useful only once). Write hits mark the line dirty.
 func (c *Cache) Access(p mem.PAddr, write bool) (bool, Provenance) {
-	base, tag := c.index(p)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
-			c.tick++
-			l.stamp = c.tick
-			l.rrpv = 0 // SRRIP: near re-reference on a hit
+	base, _, tag := c.index(p)
+	for i := base; i < base+c.ways; i++ {
+		e := c.lines[i]
+		if uint32(e>>32) == tag {
+			c.lines[i] = e&^uint64(^uint32(0)) | uint64(c.nextStamp())
+			m := c.meta[i]
+			prov := Provenance(m >> metaProvShift & 3)
+			// SRRIP: near re-reference on a hit (RRPV 0); provenance
+			// demotes to FillDemand; a write marks the line dirty.
+			m &= metaDirtyBit
 			if write {
-				l.dirty = true
+				m |= metaDirtyBit
 			}
-			prov := l.prov
-			l.prov = FillDemand
+			c.meta[i] = m
 			c.Hits++
 			return true, prov
 		}
@@ -148,10 +219,9 @@ func (c *Cache) Access(p mem.PAddr, write bool) (bool, Provenance) {
 
 // Contains peeks for p without disturbing LRU or counters.
 func (c *Cache) Contains(p mem.PAddr) bool {
-	base, tag := c.index(p)
-	for w := 0; w < c.ways; w++ {
-		l := c.lines[base+w]
-		if l.valid && l.tag == tag {
+	base, _, tag := c.index(p)
+	for i := base; i < base+c.ways; i++ {
+		if uint32(c.lines[i]>>32) == tag {
 			return true
 		}
 	}
@@ -170,75 +240,96 @@ type Victim struct {
 // existing provenance: prefetching something already cached earns no
 // usefulness credit.
 func (c *Cache) Fill(p mem.PAddr, prov Provenance, dirty bool) (Victim, bool) {
-	base, tag := c.index(p)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
-			c.tick++
-			l.stamp = c.tick
+	base, set, tag := c.index(p)
+	// One fused scan finds a resident copy, the first empty way and the
+	// LRU way together; inserting never duplicates a tag within a set,
+	// so stopping at the first match loses nothing.
+	firstFree, lru := -1, base
+	for i := base; i < base+c.ways; i++ {
+		e := c.lines[i]
+		t := uint32(e >> 32)
+		if t == tag {
+			c.lines[i] = e&^uint64(^uint32(0)) | uint64(c.nextStamp())
 			if dirty {
-				l.dirty = true
+				c.meta[i] |= metaDirtyBit
 			}
 			return Victim{}, false
 		}
+		if t == invalidTag {
+			if firstFree < 0 {
+				firstFree = i
+			}
+		} else if uint32(e) < uint32(c.lines[lru]) {
+			lru = i
+		}
 	}
-	victim := c.chooseVictim(base)
-	l := &c.lines[victim]
+	victim := firstFree
+	if victim < 0 {
+		victim = lru
+		if c.replace == ReplaceSRRIP {
+			victim = c.srripVictim(base)
+		}
+	}
 	var out Victim
 	evicted := false
-	if l.valid {
-		out = Victim{Addr: mem.PAddr(l.tag << mem.LineShift), Dirty: l.dirty}
+	if vt := uint32(c.lines[victim] >> 32); vt != invalidTag {
+		vd := c.meta[victim]&metaDirtyBit != 0
+		out = Victim{Addr: mem.PAddr(c.lineAddrOf(set, vt) << mem.LineShift), Dirty: vd}
 		evicted = true
-		if l.dirty {
+		if vd {
 			c.Writebacks++
 		}
 	}
-	c.tick++
+	s := c.nextStamp()
 	rrpv := uint8(2) // SRRIP: long re-reference interval on insertion
 	if prov != FillDemand {
 		rrpv = 3 // prefetches insert at a distant interval
 	}
-	*l = line{valid: true, dirty: dirty, tag: tag, stamp: c.tick, rrpv: rrpv, prov: prov}
+	m := rrpv<<metaRrpvShift | uint8(prov)<<metaProvShift
+	if dirty {
+		m |= metaDirtyBit
+	}
+	c.lines[victim] = uint64(tag)<<32 | uint64(s)
+	c.meta[victim] = m
 	return out, evicted
 }
 
-// chooseVictim picks the way to replace in the set starting at base.
-func (c *Cache) chooseVictim(base int) int {
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			return base + w
+// srripVictim runs SRRIP victim selection on a full set: evict the
+// first way at the distant interval (RRPV 3), aging the whole set
+// until one reaches it. Computed in one pass instead of repeated
+// aging sweeps — the first way holding the set's maximum RRPV is the
+// first to reach 3, and every way ages by the same shortfall.
+func (c *Cache) srripVictim(base int) int {
+	maxI, maxV := base, c.meta[base]>>metaRrpvShift&3
+	if maxV >= 3 {
+		return base
+	}
+	for i := base + 1; i < base+c.ways; i++ {
+		r := c.meta[i] >> metaRrpvShift & 3
+		if r >= 3 {
+			return i
+		}
+		if r > maxV {
+			maxI, maxV = i, r
 		}
 	}
-	if c.replace == ReplaceSRRIP {
-		for {
-			for w := 0; w < c.ways; w++ {
-				if c.lines[base+w].rrpv >= 3 {
-					return base + w
-				}
-			}
-			for w := 0; w < c.ways; w++ {
-				c.lines[base+w].rrpv++
-			}
-		}
+	// Every RRPV in the set is at most maxV, so adding the shortfall
+	// cannot carry out of the packed field.
+	age := 3 - maxV
+	for i := base; i < base+c.ways; i++ {
+		c.meta[i] += age << metaRrpvShift
 	}
-	victim := base
-	for w := 1; w < c.ways; w++ {
-		if c.lines[base+w].stamp < c.lines[victim].stamp {
-			victim = base + w
-		}
-	}
-	return victim
+	return maxI
 }
 
 // Invalidate drops the line holding p if present, returning whether it
 // was present and dirty.
 func (c *Cache) Invalidate(p mem.PAddr) (present, dirty bool) {
-	base, tag := c.index(p)
-	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
-			l.valid = false
-			return true, l.dirty
+	base, _, tag := c.index(p)
+	for i := base; i < base+c.ways; i++ {
+		if uint32(c.lines[i]>>32) == tag {
+			c.lines[i] = uint64(invalidTag) << 32
+			return true, c.meta[i]&metaDirtyBit != 0
 		}
 	}
 	return false, false
@@ -248,10 +339,10 @@ func (c *Cache) Invalidate(p mem.PAddr) (present, dirty bool) {
 func (c *Cache) Flush() uint64 {
 	var dirty uint64
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+		if uint32(c.lines[i]>>32) != invalidTag && c.meta[i]&metaDirtyBit != 0 {
 			dirty++
 		}
-		c.lines[i].valid = false
+		c.lines[i] = uint64(invalidTag) << 32
 	}
 	return dirty
 }

@@ -36,23 +36,27 @@ func (p *openPredictor) window(key uint64) uint64 {
 }
 
 // conflicted: the row was still open when another row was wanted —
-// we kept it open too long.
-func (p *openPredictor) conflicted(key uint64) {
+// we kept it open too long. Returns the key's new window plus the key
+// the insertion evicted from the prediction cache, so the bank can
+// push both changes into any sub-row memoizing them.
+func (p *openPredictor) conflicted(key uint64) (win, evicted uint64, evictedOK bool) {
 	w := p.window(key) / 2
 	if w < p.min {
 		w = p.min
 	}
-	p.cache.Insert(key, w)
+	ev, ok := p.cache.InsertEvict(key, w)
+	return w, ev, ok
 }
 
 // reopened: the same row was wanted again after the window expired —
 // we closed too early.
-func (p *openPredictor) reopened(key uint64) {
+func (p *openPredictor) reopened(key uint64) (win, evicted uint64, evictedOK bool) {
 	w := p.window(key) * 2
 	if w > p.max {
 		w = p.max
 	}
-	p.cache.Insert(key, w)
+	ev, ok := p.cache.InsertEvict(key, w)
+	return w, ev, ok
 }
 
 // subRow is one (sub-)row buffer: it holds a RowBytes/SubRows segment
@@ -68,6 +72,14 @@ type subRow struct {
 	// given cycle (TEMPO's PT-row wait and BLISS grace periods).
 	pinnedUntil uint64
 	lru         uint64
+	// win mirrors the adaptive predictor's window for row: 0 (the
+	// install default — real windows are clamped to at least 25) means
+	// not probed yet. The first policy check that needs it probes the
+	// prediction cache once, and the bank pushes every later predictor
+	// change (update or eviction) into it, so repeated row-policy
+	// checks never touch the prediction cache. Rows that never survive
+	// to a policy check never pay the probe at all.
+	win uint64
 }
 
 // Bank models one DRAM bank: timing state plus its (sub-)row buffers.
@@ -81,6 +93,14 @@ type Bank struct {
 	readyAt uint64
 	tick    uint64
 	subs    []subRow
+
+	// version counts mutations of the bank's observable row state
+	// (Access, Refresh, effective Pin). Cached WouldHit answers —
+	// Request.hitVersion/wouldHit — are valid exactly while the version
+	// is unchanged: between mutations ReadyAt is constant, so
+	// WouldHit(row, seg, ReadyAt()) is a pure function of (row, seg).
+	// Versions start at 1 so a zeroed request never matches.
+	version uint64
 }
 
 // NewBank builds a bank with the geometry's sub-row organisation.
@@ -89,7 +109,7 @@ func NewBank(id int, geo Geometry, timing Timing, policy RowPolicy) *Bank {
 	if n < 1 {
 		n = 1
 	}
-	b := &Bank{geo: geo, timing: timing, policy: policy, id: id, subs: make([]subRow, n)}
+	b := &Bank{geo: geo, timing: timing, policy: policy, id: id, subs: make([]subRow, n), version: 1}
 	if policy == PolicyAdaptive {
 		b.pred = newOpenPredictor()
 	}
@@ -126,7 +146,10 @@ func (b *Bank) isOpen(s *subRow, now uint64) bool {
 	case PolicyClosed:
 		window = 0
 	case PolicyAdaptive:
-		window = b.pred.window(b.predKey(s.row))
+		if s.win == 0 {
+			s.win = b.pred.window(b.predKey(s.row))
+		}
+		window = s.win
 	}
 	return now-s.lastTouch <= window
 }
@@ -171,6 +194,7 @@ func (b *Bank) Peek(row uint64, seg int, issue uint64) (stats.RowOutcome, uint64
 // bank state, the adaptive predictor and the ACT/PRE counters in st.
 func (b *Bank) Access(row uint64, seg int, issue uint64, allowed []int, st *stats.Stats) (stats.RowOutcome, uint64) {
 	b.tick++
+	b.version++
 	// Serving sub-row already holding the segment?
 	for i := range b.subs {
 		s := &b.subs[i]
@@ -189,7 +213,9 @@ func (b *Bank) Access(row uint64, seg int, issue uint64, allowed []int, st *stat
 	if b.isOpen(s, issue) {
 		outcome = stats.RowConflict
 		if b.pred != nil {
-			b.pred.conflicted(b.predKey(s.row))
+			k := b.predKey(s.row)
+			w, ev, ok := b.pred.conflicted(k)
+			b.predPush(k, w, ev, ok)
 		}
 		st.PreCount++
 	} else if s.valid {
@@ -198,7 +224,9 @@ func (b *Bank) Access(row uint64, seg int, issue uint64, allowed []int, st *stat
 		st.PreCount++
 		if s.row == row && s.seg == seg && b.pred != nil {
 			// Same row wanted again after an early close: grow window.
-			b.pred.reopened(b.predKey(row))
+			k := b.predKey(row)
+			w, ev, ok := b.pred.reopened(k)
+			b.predPush(k, w, ev, ok)
 		}
 	}
 	var lat uint64
@@ -214,10 +242,31 @@ func (b *Bank) Access(row uint64, seg int, issue uint64, allowed []int, st *stat
 	return outcome, done
 }
 
+// predPush propagates one prediction-cache insertion into the sub-row
+// window mirrors: sub-rows latching the inserted key's row take its
+// new window, and sub-rows whose key was evicted by the insertion fall
+// back to the default window — exactly what a fresh probe would now
+// return for them.
+func (b *Bank) predPush(key, win, evicted uint64, evictedOK bool) {
+	for i := range b.subs {
+		s := &b.subs[i]
+		if !s.valid {
+			continue
+		}
+		k := b.predKey(s.row)
+		if k == key {
+			s.win = win
+		} else if evictedOK && k == evicted {
+			s.win = b.pred.init
+		}
+	}
+}
+
 // Refresh models an all-bank auto-refresh starting at the given cycle:
 // every (sub-)row buffer is precharged — pins notwithstanding, the
 // cells must be refreshed — and the bank is busy for trfc cycles.
 func (b *Bank) Refresh(start, trfc uint64, st *stats.Stats) {
+	b.version++
 	for i := range b.subs {
 		if b.subs[i].valid {
 			st.PreCount++
@@ -242,6 +291,7 @@ func (b *Bank) Pin(row uint64, seg int, now, until uint64) {
 			(now <= s.lastTouch || now <= s.pinnedUntil || b.isOpen(s, now)) {
 			if until > s.pinnedUntil {
 				s.pinnedUntil = until
+				b.version++
 			}
 			return
 		}

@@ -73,6 +73,11 @@ type Controller struct {
 	QDepth *obsv.Histogram
 
 	served uint64
+	// servedWaiters counts completed transactions that a core was
+	// parked on (Request.MarkWaiter). The simulation coordinator
+	// compares it across a run-ahead batch: an unchanged count proves
+	// no parked core can have become runnable.
+	servedWaiters uint64
 	// frontier is the latest issue time seen — the controller's
 	// notion of "now" for scheduler aging and grace periods.
 	frontier uint64
@@ -135,11 +140,20 @@ func (c *Controller) Pool() *Pool { return &c.pool }
 // Served returns the number of completed transactions.
 func (c *Controller) Served() uint64 { return c.served }
 
-// Submit enqueues a transaction.
+// ServedWaiters returns the number of completed transactions that were
+// marked with MarkWaiter — i.e. how many parked cores the controller
+// has unblocked so far.
+func (c *Controller) ServedWaiters() uint64 { return c.servedWaiters }
+
+// Submit enqueues a transaction, decoding its DRAM location once so
+// the serve path and scheduler scans never re-decode the address.
 func (c *Controller) Submit(r *Request) {
 	if r.Done {
 		panic("dram: resubmitting a completed request")
 	}
+	r.loc = c.cfg.Geometry.Decode(r.Addr)
+	r.seg = r.loc.Segment(c.cfg.Geometry)
+	r.hitVersion = 0
 	c.QDepth.Observe(uint64(len(c.queue)))
 	c.queue = append(c.queue, r)
 }
@@ -149,6 +163,20 @@ func (c *Controller) WouldRowHit(addr mem.PAddr) bool {
 	loc := c.cfg.Geometry.Decode(addr)
 	bank := c.banks[loc.Channel][loc.Bank]
 	return bank.WouldHit(loc.Row, loc.Segment(c.cfg.Geometry), bank.ReadyAt())
+}
+
+// WouldRowHitReq implements RowPeeker's indexed row-hit query: the
+// answer for a submitted request is memoised on the request and
+// invalidated by the owning bank's version counter, which bumps on
+// every row open/close/refresh/pin. Identical to
+// WouldRowHit(r.Addr), amortised O(1) per scan step.
+func (c *Controller) WouldRowHitReq(r *Request) bool {
+	bank := c.banks[r.loc.Channel][r.loc.Bank]
+	if r.hitVersion != bank.version {
+		r.wouldHit = bank.WouldHit(r.loc.Row, r.seg, bank.readyAt)
+		r.hitVersion = bank.version
+	}
+	return r.wouldHit
 }
 
 // ServeOne executes one scheduler-chosen transaction and returns it.
@@ -168,8 +196,7 @@ func (c *Controller) executeOne() *Request {
 	r := c.queue[idx]
 	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
 
-	g := c.cfg.Geometry
-	loc := g.Decode(r.Addr)
+	loc := r.loc // decoded once at Submit
 	c.refreshChannel(loc.Channel, r.Enqueue)
 	bank := c.banks[loc.Channel][loc.Bank]
 	issue := r.Enqueue
@@ -181,7 +208,7 @@ func (c *Controller) executeOne() *Request {
 	// burst window [complete-TBurst, complete] starts after the bus
 	// frees.
 	for tries := 0; tries < 4; tries++ {
-		_, lat := bank.Peek(loc.Row, loc.Segment(g), issue)
+		_, lat := bank.Peek(loc.Row, r.seg, issue)
 		burstStart := issue + lat - c.cfg.Timing.TBurst
 		bus := c.busAt[loc.Channel]
 		if burstStart >= bus {
@@ -192,7 +219,7 @@ func (c *Controller) executeOne() *Request {
 	// tFAW: a fifth activate within the window of the last four waits
 	// it out.
 	if t := c.cfg.Timing; t.TFAW > 0 && c.actPos[loc.Channel] >= 4 {
-		if out, _ := bank.Peek(loc.Row, loc.Segment(g), issue); out != stats.RowHit {
+		if out, _ := bank.Peek(loc.Row, r.seg, issue); out != stats.RowHit {
 			fourBack := c.acts[loc.Channel][c.actPos[loc.Channel]%4]
 			if earliest := fourBack + t.TFAW; issue < earliest {
 				issue = earliest
@@ -200,7 +227,7 @@ func (c *Controller) executeOne() *Request {
 		}
 	}
 	allowed := c.allowedSubRows(r)
-	outcome, complete := bank.Access(loc.Row, loc.Segment(g), issue, allowed, c.st)
+	outcome, complete := bank.Access(loc.Row, r.seg, issue, allowed, c.st)
 	if outcome != stats.RowHit && c.cfg.Timing.TFAW > 0 {
 		c.acts[loc.Channel][c.actPos[loc.Channel]%4] = issue
 		c.actPos[loc.Channel]++
@@ -211,6 +238,9 @@ func (c *Controller) executeOne() *Request {
 	}
 	r.Done, r.Issue, r.Complete, r.Outcome = true, issue, complete, outcome
 	c.served++
+	if r.waiter {
+		c.servedWaiters++
+	}
 
 	c.st.AddDRAMRef(r.Category, outcome)
 	c.st.AddDRAMLatency(r.Category, complete-r.Enqueue)
@@ -241,7 +271,7 @@ func (c *Controller) executeOne() *Request {
 		// The prefetched row stays latched for the replay: pin it
 		// briefly so an adaptive/closed policy cannot close it before
 		// the replay can possibly arrive.
-		bank.Pin(loc.Row, loc.Segment(g), complete, complete+c.cfg.PTRowWait+180)
+		bank.Pin(loc.Row, r.seg, complete, complete+c.cfg.PTRowWait+180)
 		if c.OnPrefetchDone != nil {
 			c.OnPrefetchDone(r)
 		}
@@ -266,7 +296,7 @@ func (c *Controller) executeOne() *Request {
 // onLeafPT runs TEMPO's PT? detector path: keep the PT row open for
 // the configured wait, and ask the observer for the prefetch to queue.
 func (c *Controller) onLeafPT(r *Request, loc Location, bank *Bank) {
-	bank.Pin(loc.Row, loc.Segment(c.cfg.Geometry), r.Complete, r.Complete+c.cfg.PTRowWait)
+	bank.Pin(loc.Row, r.seg, r.Complete, r.Complete+c.cfg.PTRowWait)
 	if c.Observer == nil {
 		return
 	}

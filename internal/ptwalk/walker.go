@@ -104,8 +104,23 @@ type WalkState struct {
 // Walk does. now anchors the walk's event timestamps; pass 0 when the
 // caller has no clock (it only affects tracing).
 func (w *Walker) Begin(ws *WalkState, v mem.VAddr, now uint64) {
-	w.st.WalksStarted++
 	steps, n, ok := w.table.Walk(v)
+	w.BeginPrepared(ws, v, now, steps, n, ok)
+}
+
+// TableWalk runs just the pure software page-table descent Begin
+// performs, with no stats or MMU-cache side effects. Callers that need
+// a residency check before committing to a walk (demand paging) can
+// run it once and hand the result to BeginPrepared, instead of paying
+// a separate table lookup followed by Begin's own descent.
+func (w *Walker) TableWalk(v mem.VAddr) ([mem.Levels]vm.WalkStep, int, bool) {
+	return w.table.Walk(v)
+}
+
+// BeginPrepared is Begin with the software descent already performed
+// (by TableWalk on the same address against an unchanged table).
+func (w *Walker) BeginPrepared(ws *WalkState, v mem.VAddr, now uint64, steps [mem.Levels]vm.WalkStep, n int, ok bool) {
+	w.st.WalksStarted++
 
 	// MMU-cache skip: resume below the deepest cached level.
 	startLevel := mem.Levels

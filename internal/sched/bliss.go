@@ -78,7 +78,7 @@ func (b *BLISS) Pick(q []*dram.Request, now uint64, rows dram.RowPeeker) int {
 		if !b.blacklisted[r.CoreID] {
 			score += 4
 		}
-		if rows != nil && rows.WouldRowHit(r.Addr) {
+		if rows != nil && rows.WouldRowHitReq(r) {
 			score += 2
 		}
 		// Bonding: the prefetch paired with the PT access just served

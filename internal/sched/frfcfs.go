@@ -21,7 +21,10 @@ import (
 type FRFCFS struct {
 	TempoAware bool
 	// AgeCap promotes any request older than this many cycles to the
-	// highest priority (starvation guard). Zero means 4096.
+	// highest priority (starvation guard). Zero means 1500 — the value
+	// the golden fixtures (sim.TestSchedulerEquivalenceGolden and the
+	// checked-in figure outputs) were captured with; changing it
+	// reorders serves and shifts every downstream counter.
 	AgeCap uint64
 }
 
@@ -54,7 +57,7 @@ func (s *FRFCFS) score(r *dram.Request, now uint64, rows dram.RowPeeker) int {
 	if now > r.Enqueue && now-r.Enqueue > s.ageCap() {
 		return 100 // starvation guard
 	}
-	hit := rows != nil && rows.WouldRowHit(r.Addr)
+	hit := rows != nil && rows.WouldRowHitReq(r)
 	if s.TempoAware {
 		// Row hits still rule (reordering for locality, not class
 		// starvation); within them, leaf-PT accesses group first and

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// The indexed row-hit query (Controller.WouldRowHitReq, memoised on
+// the request and invalidated by the bank version counter) must be
+// indistinguishable from recomputing WouldRowHit(r.Addr) from scratch
+// on every scan step. These tests drive a real controller — live bank
+// mutation, adaptive row policy, refreshes, TEMPO request classes —
+// with a differ scheduler that answers every Pick twice, once through
+// each query path, and fails on the first divergence.
+
+// addrPeeker degrades the indexed query to full per-call address
+// recomputation: the reference behaviour the memoisation must match.
+type addrPeeker struct{ rows dram.RowPeeker }
+
+func (p addrPeeker) WouldRowHit(a mem.PAddr) bool { return p.rows.WouldRowHit(a) }
+func (p addrPeeker) WouldRowHitReq(r *dram.Request) bool {
+	return p.rows.WouldRowHit(r.Addr)
+}
+
+// differ runs two identically-configured schedulers side by side: the
+// inner one sees the controller's indexed RowPeeker, the reference one
+// sees the recomputing addrPeeker. Any state the schedulers carry
+// (BLISS blacklists, streaks, bonding) evolves under identical inputs
+// as long as every decision matches.
+type differ struct {
+	t     *testing.T
+	name  string
+	inner dram.Scheduler
+	ref   dram.Scheduler
+	picks int
+}
+
+func (d *differ) Pick(q []*dram.Request, now uint64, rows dram.RowPeeker) int {
+	got := d.inner.Pick(q, now, rows)
+	want := d.ref.Pick(q, now, addrPeeker{rows})
+	if got != want {
+		d.t.Fatalf("%s: pick #%d diverged: indexed chose %d, reference chose %d (queue %d, now %d)",
+			d.name, d.picks, got, want, len(q), now)
+	}
+	d.picks++
+	return got
+}
+
+func (d *differ) OnServed(r *dram.Request, now uint64) {
+	d.inner.OnServed(r, now)
+	d.ref.OnServed(r, now)
+}
+
+// driveDiff pushes randomized traffic through a controller owned by
+// the differ. The address stream mixes fresh rows with recently-used
+// ones so row hits, misses and conflicts all occur; bursts keep the
+// queue deep enough that Pick has real choices; enqueue times advance
+// past the refresh interval so banks are also invalidated wholesale.
+func driveDiff(t *testing.T, name string, mk func() dram.Scheduler, seed int64) {
+	d := &differ{t: t, name: name, inner: mk(), ref: mk()}
+	st := &stats.Stats{}
+	ctrl := dram.NewController(dram.DefaultConfig(), d, st)
+
+	rng := rand.New(rand.NewSource(seed))
+	var recentRows []mem.PAddr
+	var lastLeafPT *dram.Request
+	now := uint64(0)
+
+	randAddr := func() mem.PAddr {
+		if len(recentRows) > 0 && rng.Intn(100) < 45 {
+			// Revisit a recent row (different column) — likely row hit.
+			base := recentRows[rng.Intn(len(recentRows))]
+			return base + mem.PAddr(rng.Intn(8<<10)&^63)
+		}
+		a := mem.PAddr(rng.Int63n(1<<32)) &^ 63
+		recentRows = append(recentRows, a&^(8<<10-1))
+		if len(recentRows) > 24 {
+			recentRows = recentRows[1:]
+		}
+		return a
+	}
+
+	for round := 0; round < 400; round++ {
+		burst := 1 + rng.Intn(8)
+		for i := 0; i < burst; i++ {
+			r := &dram.Request{
+				Addr:    randAddr(),
+				Write:   rng.Intn(4) == 0,
+				CoreID:  rng.Intn(4),
+				Enqueue: now + uint64(rng.Intn(40)),
+			}
+			switch rng.Intn(10) {
+			case 0, 1:
+				r.IsLeafPT = true
+				lastLeafPT = r
+			case 2:
+				if lastLeafPT != nil {
+					r.Prefetch = true
+					r.PairedWith = lastLeafPT
+					r.CoreID = lastLeafPT.CoreID
+				}
+			}
+			ctrl.Submit(r)
+		}
+		// Drain a random fraction so queue depth varies between 1 and
+		// ~20 and old requests can age past the starvation cap.
+		for n := rng.Intn(burst + 2); n > 0 && ctrl.QueueLen() > 0; n-- {
+			r := ctrl.ServeOne()
+			if r.Complete > now {
+				now = r.Complete
+			}
+		}
+		// Occasionally jump the clock so TREFI refreshes fire and the
+		// age cap trips for whatever is still queued.
+		if rng.Intn(20) == 0 {
+			now += 2_000 + uint64(rng.Intn(30_000))
+		}
+	}
+	for ctrl.QueueLen() > 0 {
+		ctrl.ServeOne()
+	}
+	if d.picks == 0 {
+		t.Fatalf("%s: differ never invoked", name)
+	}
+}
+
+func TestSchedulerIndexedPickDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() dram.Scheduler
+	}{
+		{"frfcfs", func() dram.Scheduler { return NewFRFCFS() }},
+		{"frfcfs-tempo", func() dram.Scheduler { return NewTempoFRFCFS() }},
+		// A tiny age cap makes the starvation guard the common case,
+		// exercising the boundary where score jumps to 100 and ties
+		// fall back to pure age order.
+		{"frfcfs-agecap-edge", func() dram.Scheduler { return &FRFCFS{TempoAware: true, AgeCap: 3} }},
+		{"bliss", func() dram.Scheduler { return NewBLISS() }},
+		{"bliss-tempo", func() dram.Scheduler { return NewTempoBLISS() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				driveDiff(t, tc.name, tc.mk, seed)
+			}
+		})
+	}
+}

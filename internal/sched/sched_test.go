@@ -13,6 +13,8 @@ type fakeRows map[mem.PAddr]bool
 
 func (f fakeRows) WouldRowHit(a mem.PAddr) bool { return f[a] }
 
+func (f fakeRows) WouldRowHitReq(r *dram.Request) bool { return f[r.Addr] }
+
 func TestFRFCFSPrefersRowHits(t *testing.T) {
 	s := NewFRFCFS()
 	q := []*dram.Request{

@@ -107,12 +107,23 @@ type Core struct {
 	err error
 }
 
-// step resumes the core and runs it to its next yield point: one
-// finished trace record (coreStep), a submitted DRAM request the core
-// must wait on (coreWait, request returned), or end of trace
-// (coreDone). The coordinator must not call step again on a waiting
-// core until the returned request completes.
-func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
+// step resumes the core and runs it until its next yield point: a
+// submitted DRAM request the core must wait on (coreWait, request
+// returned), end of trace (coreDone), or — new with run-ahead
+// batching — coreStep after executing one or more whole trace records
+// (executed reports how many). The coordinator passes a horizon:
+// limit is the largest clock at which this core would still win the
+// min-clock pick against every other ready core, and budget caps the
+// batch at the next interval-stats boundary so flushes stay
+// record-accurate. After each finished record the core keeps going
+// only while c.now <= limit, executed < budget and the controller has
+// not completed a request some other core is parked on (the
+// served-waiter count) — exactly the conditions under which re-running
+// the coordinator's pick loop would choose this core again, so the
+// batched schedule is bit-identical to picking after every record.
+// The coordinator must not call step again on a waiting core until
+// the returned request completes.
+func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Request, executed uint64) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.err = fmt.Errorf("core %d: %v", c.id, r)
@@ -120,21 +131,83 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 		}
 	}()
 	m := &c.sys.machine
+	waiters := c.sys.ctrl.ServedWaiters()
 	for {
 		switch c.phase {
 		case phRecord:
 			if c.ran >= c.records {
-				return coreDone, nil
+				return coreDone, nil, executed
 			}
 			rec, ok := c.nextRecord()
 			if !ok {
-				return coreDone, nil
+				return coreDone, nil, executed
 			}
 			c.ran++
 			c.rec = rec
 			c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
 			c.st.Instructions += uint64(rec.Gap) + 1
 			c.st.MemRefs++
+
+			// Fast path: with no prefetcher and no event recorder
+			// attached, a TLB hit proves the page is resident (demand
+			// paging cannot have skipped it and nothing unmaps pages
+			// mid-run), so the Touch residency check is a pure no-op and
+			// the record reduces to translate + cache probe. An L1 hit
+			// then needs none of the tail bookkeeping (no writebacks, no
+			// replay classification) beyond the writeback-queue pressure
+			// guard. This skips the full state machine on the two
+			// branches that dominate hot-path records.
+			if c.imp == nil && c.obs == nil {
+				tr, lvl := c.tlb.Lookup(rec.VAddr)
+				if lvl != tlb.Miss {
+					c.st.TLBHits++
+					if lvl == tlb.HitL2 {
+						c.now += m.L2TLBPenalty
+					}
+					c.tr = tr
+					c.walked, c.leafDRAM = false, false
+					c.p = tr.Translate(rec.VAddr)
+					c.write = rec.Kind == trace.Store
+					c.sys.mem.ApplyFills(c.now + m.Caches.LLC.LatencyC)
+					c.ar = c.hier.Access(c.p, c.write)
+					if c.ar.Served == cache.ServedL1 {
+						c.now += c.ar.Latency
+						if c.sys.ctrl.QueueLen() > 128 {
+							c.sys.ctrl.DrainUpTo(c.now)
+						}
+						executed++
+						if executed >= budget || c.now > limit ||
+							c.sys.ctrl.ServedWaiters() != waiters {
+							return coreStep, nil, executed
+						}
+						continue
+					}
+					if req := c.dispatchAccess(m); req != nil {
+						return coreWait, req, executed
+					}
+					continue // phTail
+				}
+				c.st.TLBMisses++
+				// TLB miss: the walker's own software descent doubles as
+				// the residency check — only when it fails does the page
+				// need faulting in (first touch), after which the descent
+				// reruns against the updated table. This replaces the
+				// separate Touch lookup + Begin walk with a single
+				// descent on the common resident path.
+				steps, n, ok := c.walker.TableWalk(rec.VAddr)
+				if !ok {
+					if _, _, err := c.as.Touch(rec.VAddr); err != nil {
+						panic(fmt.Sprintf("touch %#x: %v", uint64(rec.VAddr), err))
+					}
+					steps, n, ok = c.walker.TableWalk(rec.VAddr)
+				}
+				c.tr = tr
+				c.walked, c.leafDRAM = false, false
+				c.walker.BeginPrepared(&c.ws, rec.VAddr, c.now, steps, n, ok)
+				c.phase = phWalk
+				continue
+			}
+
 			c.obs.BeginRecord(c.id, uint64(c.ran-1))
 			c.obsStart = c.now
 
@@ -205,10 +278,11 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 			req.IsLeafPT = wstep.IsLeaf
 			req.ReplayLine = c.ws.ReplayLine()
 			req.Enqueue = at + ar.Latency + m.Interconnect
+			req.MarkWaiter()
 			c.sys.ctrl.Submit(req)
 			c.waitReq, c.waitAt, c.waitLat = req, at, ar.Latency
 			c.phase = phWalkResume
-			return coreWait, req
+			return coreWait, req, executed
 
 		case phWalkResume:
 			req := c.waitReq
@@ -245,26 +319,9 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 					Dur: c.ar.Latency, Core: int16(c.id), Addr: uint64(c.p),
 					A: uint8(c.ar.Served), B: flags})
 			}
-			if c.ar.Served != cache.ServedDRAM {
-				c.now += c.ar.Latency
-				c.servedDRAM = false
-				c.outcome = stats.RowHit // unused when !servedDRAM
-				c.phase = phTail
-				continue
+			if req := c.dispatchAccess(m); req != nil {
+				return coreWait, req, executed
 			}
-			cat := stats.DRAMOther
-			if c.walked {
-				cat = stats.DRAMReplay
-			}
-			req := c.pool.Get()
-			req.Addr = c.p.Line()
-			req.Category = cat
-			req.CoreID = c.id
-			req.Enqueue = c.now + c.ar.Latency + m.Interconnect
-			c.sys.ctrl.Submit(req)
-			c.waitReq = req
-			c.phase = phAccessResume
-			return coreWait, req
 
 		case phAccessResume:
 			req := c.waitReq
@@ -351,9 +408,42 @@ func (c *Core) step() (status coreStatus, waitOn *dram.Request) {
 					Addr: uint64(c.rec.VAddr)})
 			}
 			c.phase = phRecord
-			return coreStep, nil
+			executed++
+			if executed >= budget || c.now > limit ||
+				c.sys.ctrl.ServedWaiters() != waiters {
+				return coreStep, nil, executed
+			}
 		}
 	}
+}
+
+// dispatchAccess routes the demand-access result sitting in c.ar: an
+// on-chip hit advances the clock and moves to the tail phase (nil
+// return); a full miss submits the DRAM transaction — marked as one a
+// core is parked on, so batched peers notice its completion — and
+// returns it for the coordinator to wait on.
+func (c *Core) dispatchAccess(m *Machine) *dram.Request {
+	if c.ar.Served != cache.ServedDRAM {
+		c.now += c.ar.Latency
+		c.servedDRAM = false
+		c.outcome = stats.RowHit // unused when !servedDRAM
+		c.phase = phTail
+		return nil
+	}
+	cat := stats.DRAMOther
+	if c.walked {
+		cat = stats.DRAMReplay
+	}
+	req := c.pool.Get()
+	req.Addr = c.p.Line()
+	req.Category = cat
+	req.CoreID = c.id
+	req.Enqueue = c.now + c.ar.Latency + m.Interconnect
+	req.MarkWaiter()
+	c.sys.ctrl.Submit(req)
+	c.waitReq = req
+	c.phase = phAccessResume
+	return req
 }
 
 // nextRecord pulls the next record, maintaining the IMP lookahead ring.

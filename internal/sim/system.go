@@ -301,17 +301,46 @@ func (s *System) Run() (*Result, error) {
 			}
 		}
 		if pick >= 0 {
+			// Run-ahead horizon: the largest clock at which the picked
+			// core would still win this pick loop. Ties go to the lower
+			// index, so against a lower-indexed ready core the picked
+			// core must stay strictly below its clock (clock[j] >
+			// clock[pick] here, so the decrement cannot underflow).
+			// Parked cores are covered separately: step stops batching
+			// the moment the controller completes a request a core is
+			// parked on (the served-waiter count), and only this wake
+			// loop can make them ready again.
+			limit := ^uint64(0)
+			for j := range s.cores {
+				if j == pick || status[j] != stReady {
+					continue
+				}
+				l := clock[j]
+				if j < pick {
+					l--
+				}
+				if l < limit {
+					limit = l
+				}
+			}
+			// Batch at most up to the next interval-stats boundary so
+			// flushes happen at exactly the same record counts as
+			// unbatched execution.
+			budget := ^uint64(0)
+			if intervalEvery > 0 {
+				budget = intervalEvery - recordsDone%intervalEvery
+			}
 			c := s.cores[pick]
-			st, req := c.step()
+			st, req, n := c.step(limit, budget)
+			recordsDone += n
+			if intervalEvery > 0 && n > 0 && recordsDone%intervalEvery == 0 {
+				if err := s.flushInterval(recordsDone); err != nil {
+					return nil, fmt.Errorf("sim: interval stats: %w", err)
+				}
+			}
 			switch st {
 			case coreStep:
 				clock[pick] = c.now
-				recordsDone++
-				if intervalEvery > 0 && recordsDone%intervalEvery == 0 {
-					if err := s.flushInterval(recordsDone); err != nil {
-						return nil, fmt.Errorf("sim: interval stats: %w", err)
-					}
-				}
 			case coreWait:
 				status[pick] = stParked
 				waitReq[pick] = req
@@ -352,14 +381,13 @@ func (s *System) Run() (*Result, error) {
 	}
 
 	res := &Result{TempoOn: s.cfg.Tempo.Enabled}
-	for i, c := range s.cores {
+	for _, c := range s.cores {
 		c.st.Cycles = c.now
 		for cl, b := range c.as.FootprintBytes() {
 			c.st.FootprintBytes[cl] = b
 		}
 		res.Cores = append(res.Cores, *c.st)
 		res.Superpage = append(res.Superpage, c.as.SuperpageFraction())
-		_ = i
 	}
 	res.Mem = *s.mst
 	res.Total = res.Mem

@@ -98,12 +98,24 @@ type PageTable struct {
 	alloc   func() (mem.Frame, error)
 	// tablePages counts allocated page-table pages (incl. root).
 	tablePages uint64
+
+	// Walk memo: the node path the most recent software walk followed.
+	// memoNodes[lvl] is the table page probed at lvl, valid for lvl in
+	// [memoDepth, Levels]. A later walk whose upper indices match
+	// memoV's resumes from the deepest shared node: the shared entries
+	// were present and non-leaf when memoized (the walk descended
+	// through them) and the table is immutable between Map/Unmap calls,
+	// which drop the memo. Consecutive translations share upper levels
+	// almost always, so most walks probe only the leaf table page.
+	memoV     mem.VAddr
+	memoNodes [mem.Levels + 1]*node
+	memoDepth int // Levels+1 = no memo
 }
 
 // NewPageTable creates an empty table; alloc provides frames for table
 // pages (typically Buddy.AllocFrame).
 func NewPageTable(alloc func() (mem.Frame, error)) (*PageTable, error) {
-	pt := &PageTable{alloc: alloc}
+	pt := &PageTable{alloc: alloc, memoDepth: mem.Levels + 1}
 	root, err := pt.newNode(mem.Levels)
 	if err != nil {
 		return nil, err
@@ -141,6 +153,7 @@ func (pt *PageTable) Map(v mem.VAddr, c mem.PageSizeClass, f mem.Frame) error {
 	if !f.AlignedTo(c) {
 		return fmt.Errorf("vm: frame %#x misaligned for %v page", uint64(f), c)
 	}
+	pt.dropMemo()
 	leafLevel := c.LeafLevel()
 	n := pt.root
 	for lvl := mem.Levels; lvl > leafLevel; lvl-- {
@@ -166,9 +179,11 @@ func (pt *PageTable) Map(v mem.VAddr, c mem.PageSizeClass, f mem.Frame) error {
 }
 
 // Lookup performs a software walk and returns the translation for v.
+// It reuses the walk memo read-only: the shared upper entries are
+// known present and non-leaf, so the descent resumes below them.
 func (pt *PageTable) Lookup(v mem.VAddr) (Translation, bool) {
-	n := pt.root
-	for lvl := mem.Levels; lvl >= 1; lvl-- {
+	n, start := pt.memoResume(v)
+	for lvl := start; lvl >= 1; lvl-- {
 		e := n.entries[v.Index(lvl)]
 		if !e.Present {
 			return Translation{}, false
@@ -192,28 +207,60 @@ func (pt *PageTable) Lookup(v mem.VAddr) (Translation, bool) {
 // walk reached a present leaf.
 func (pt *PageTable) Walk(v mem.VAddr) ([mem.Levels]WalkStep, int, bool) {
 	var steps [mem.Levels]WalkStep
-	n := pt.root
 	count := 0
-	for lvl := mem.Levels; lvl >= 1; lvl-- {
+	n, start := pt.memoResume(v)
+	// Steps for the shared prefix come straight from the memoized
+	// nodes: those entries were present and non-leaf, so neither the
+	// frame index nor the entry arrays need touching.
+	for lvl := mem.Levels; lvl > start; lvl-- {
+		steps[count] = WalkStep{Level: lvl, PTEAddr: pt.memoNodes[lvl].frame.PTEAddr(v.Index(lvl))}
+		count++
+	}
+	for lvl := start; lvl >= 1; lvl-- {
 		addr := n.frame.PTEAddr(v.Index(lvl))
 		e := n.entries[v.Index(lvl)]
 		steps[count] = WalkStep{Level: lvl, PTEAddr: addr, IsLeaf: e.Present && e.Leaf}
 		count++
-		if !e.Present {
-			return steps, count, false
-		}
-		if e.Leaf {
-			return steps, count, true
+		pt.memoNodes[lvl] = n
+		if !e.Present || e.Leaf {
+			pt.memoV, pt.memoDepth = v, lvl
+			return steps, count, e.Present && e.Leaf
 		}
 		n = pt.byFrame.get(e.Frame)
 	}
+	pt.memoV, pt.memoDepth = v, 1
 	return steps, count, false
+}
+
+// memoResume returns the deepest memoized node shared with v's walk
+// path and its level. Falls back to the root when the memo is empty or
+// no upper indices match.
+func (pt *PageTable) memoResume(v mem.VAddr) (*node, int) {
+	common := mem.Levels
+	if pt.memoDepth <= mem.Levels {
+		for common > pt.memoDepth && v.Index(common) == pt.memoV.Index(common) {
+			common--
+		}
+	}
+	if common == mem.Levels {
+		return pt.root, common
+	}
+	return pt.memoNodes[common], common
+}
+
+// dropMemo forgets the walk memo; called by every table mutation.
+func (pt *PageTable) dropMemo() {
+	pt.memoDepth = mem.Levels + 1
+	for i := range pt.memoNodes {
+		pt.memoNodes[i] = nil
+	}
 }
 
 // Unmap removes the translation covering v and returns it. Interior
 // table pages are kept (Linux behaves the same way); the caller owns
 // freeing the data frames and shooting down TLBs.
 func (pt *PageTable) Unmap(v mem.VAddr) (Translation, bool) {
+	pt.dropMemo()
 	n := pt.root
 	for lvl := mem.Levels; lvl >= 1; lvl-- {
 		e := &n.entries[v.Index(lvl)]
