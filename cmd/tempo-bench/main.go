@@ -39,6 +39,14 @@
 // batch progress JSON, /events streams runs.jsonl records (and, with
 // -stats-interval, per-simulation interval lines) as SSE, and
 // /debug/pprof profiles the sweep itself.
+//
+// With -submit http://host:port simulations are not run locally at
+// all: every job in the sweep is submitted to that tempo-serve
+// instance (SERVICE.md) and results come back from its fleet-wide
+// queue and shared persistent cache. -tenant names this sweep in the
+// server's per-tenant quota accounting. The local execution flags
+// (-parallel, -cache-dir, -timeout, -runs, -stats-interval, -obs-dir,
+// -http) are ignored in submit mode.
 package main
 
 import (
@@ -57,6 +65,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/obsv/serve"
 	"repro/internal/runner"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -78,6 +87,8 @@ func main() {
 		statsInt  = flag.Uint64("stats-interval", 0, "per-simulation interval stats every N records (0 = off)")
 		obsDir    = flag.String("obs-dir", "tempo-obs", "directory for per-simulation interval-stats JSONL")
 		httpAddr  = flag.String("http", "", "serve live sweep introspection (/metrics, /runs, /events, /debug/pprof) on this address")
+		submitURL = flag.String("submit", "", "submit every simulation to this tempo-serve base URL instead of running locally")
+		tenant    = flag.String("tenant", "", "tenant name for -submit quota accounting (default: server default)")
 	)
 	flag.Parse()
 
@@ -207,7 +218,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "introspection server on http://%s\n", addr)
 	}
 
-	benchRunner := tempo.NewParallelRunner(scale, pool)
+	// In -submit mode the sweep's simulations go to a tempo-serve
+	// instance instead of the local pool (which stays idle; its flags
+	// are ignored) — the service's queue applies quotas and its
+	// persistent cache answers configs any tenant already ran.
+	engine := tempo.Engine(pool)
+	if *submitURL != "" {
+		engine = &client.Client{Base: strings.TrimRight(*submitURL, "/"), Tenant: *tenant}
+	}
+	benchRunner := tempo.NewParallelRunner(scale, engine)
 	if *verbose {
 		benchRunner.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -260,10 +279,14 @@ func main() {
 	// served from cache, and the serial-equivalent sim time the
 	// workers absorbed.
 	wall := time.Since(start).Round(time.Millisecond)
-	fmt.Fprintf(os.Stderr, "total wall-clock %v across %d workers\n", wall, *parallel)
-	fmt.Fprintf(os.Stderr, "simulations: %d executed (%v sim time), cache %d hits / %d misses, %d failed\n",
-		pool.Executed(), pool.SimWall().Round(time.Millisecond),
-		pool.CacheHits(), pool.CacheMisses(), pool.Failed())
+	if *submitURL != "" {
+		fmt.Fprintf(os.Stderr, "total wall-clock %v, simulations ran remotely on %s\n", wall, *submitURL)
+	} else {
+		fmt.Fprintf(os.Stderr, "total wall-clock %v across %d workers\n", wall, *parallel)
+		fmt.Fprintf(os.Stderr, "simulations: %d executed (%v sim time), cache %d hits / %d misses, %d failed\n",
+			pool.Executed(), pool.SimWall().Round(time.Millisecond),
+			pool.CacheHits(), pool.CacheMisses(), pool.Failed())
+	}
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "cache: %s\n", *cacheDir)
 	}

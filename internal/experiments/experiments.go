@@ -198,6 +198,19 @@ func ByID(id string) (Figure, bool) {
 	return Figure{}, false
 }
 
+// Engine executes deduplicated simulation batches for a Runner. The
+// local implementation is *runner.Pool (worker goroutines plus the
+// persistent result cache); internal/service/client provides a remote
+// implementation that submits every job to a tempo-serve instance and
+// waits, so `tempo-bench -submit` sweeps share one fleet-wide cache.
+type Engine interface {
+	// Run executes a batch, returning one JobResult per unique key in
+	// first-occurrence order (the runner.Pool contract).
+	Run(ctx context.Context, jobs []runner.Job) []runner.JobResult
+	// RunOne executes (or recalls) a single keyed configuration.
+	RunOne(ctx context.Context, key string, cfg sim.Config) (*sim.Result, error)
+}
+
 // Runner executes figures at one scale, memoising simulation results
 // (runs are deterministic, so reuse across figures is sound).
 //
@@ -217,8 +230,10 @@ type Runner struct {
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 	// Engine, when set, executes simulations through the parallel
-	// work pool (and its persistent cache) instead of inline.
-	Engine *runner.Pool
+	// work pool (and its persistent cache) — or any other Engine
+	// implementation, such as a remote tempo-serve submission client —
+	// instead of inline.
+	Engine Engine
 	// Ctx, when set, cancels in-flight batches (default Background).
 	Ctx context.Context
 
@@ -292,6 +307,12 @@ func (r *Runner) enumerate(f Figure) ([]runner.Job, error) {
 	r.mu.Unlock()
 	return jobs, err
 }
+
+// Enumerate exposes the enumeration pass: the deduplicated job list a
+// figure would execute, without running any of it. tempo-serve expands
+// named sweep submissions into per-configuration jobs this way, so a
+// whole figure can be queued through the service with one request.
+func (r *Runner) Enumerate(f Figure) ([]runner.Job, error) { return r.enumerate(f) }
 
 // placeholderResult stands in for a not-yet-run simulation during the
 // enumeration pass: shaped like a real result (per-core slices sized

@@ -40,6 +40,28 @@ const (
 	MetricInstructions    = "sys/instructions"
 )
 
+// Canonical registry names for the job-serving subsystem
+// (internal/service, SERVICE.md). "svc/jobs_*" metrics partition every
+// accepted job record by lifecycle state — submitted is the monotonic
+// total, queued/running are the live populations, and
+// completed/failed/canceled are the terminal tallies — so Audit can
+// check that no job is lost or double-counted. The rejection and
+// dedup counters sit outside the conservation law: a rejected
+// submission never becomes a job record, and a deduplicated one
+// attaches to an existing record.
+const (
+	MetricSvcSubmitted     = "svc/jobs_submitted"
+	MetricSvcQueued        = "svc/jobs_queued"
+	MetricSvcRunning       = "svc/jobs_running"
+	MetricSvcCompleted     = "svc/jobs_completed"
+	MetricSvcFailed        = "svc/jobs_failed"
+	MetricSvcCanceled      = "svc/jobs_canceled"
+	MetricSvcCacheHits     = "svc/cache_hits"
+	MetricSvcDedupHits     = "svc/dedup_hits"
+	MetricSvcRejectedQuota = "svc/rejected/quota"
+	MetricSvcRejectedQueue = "svc/rejected/backpressure"
+)
+
 // metricPair is one (name, value) sample of a Stats field.
 type metricPair struct {
 	name string
@@ -159,7 +181,10 @@ func (v AuditViolation) String() string { return v.Check + ": " + v.Detail }
 //     most once, and only filled lines can be useful;
 //   - prefetch DRAM references cannot exceed issued prefetches, and
 //     DRAM read commands are conserved across the reference
-//     categories.
+//     categories;
+//   - accepted service jobs are conserved across lifecycle states
+//     (submitted = queued + running + completed + failed + canceled),
+//     and cache-served completions are a subset of completions.
 //
 // A check whose operands are absent from the snapshot is skipped, so
 // Audit accepts partial snapshots (an interval delta, a registry with
@@ -234,6 +259,28 @@ func Audit(s Snapshot) []AuditViolation {
 			}
 		}
 	}
+	if submitted, ok := get(MetricSvcSubmitted); ok {
+		queued, ok1 := get(MetricSvcQueued)
+		running, ok2 := get(MetricSvcRunning)
+		completed, ok3 := get(MetricSvcCompleted)
+		failedN, ok4 := get(MetricSvcFailed)
+		canceled, ok5 := get(MetricSvcCanceled)
+		// Every accepted job record is in exactly one lifecycle state,
+		// so the states partition the submissions. Holds at any
+		// quiescent point (state transitions happen under the
+		// coordinator's lock).
+		if ok1 && ok2 && ok3 && ok4 && ok5 &&
+			submitted != queued+running+completed+failedN+canceled {
+			fail("service-job-conservation",
+				"%d jobs submitted != %d queued + %d running + %d completed + %d failed + %d canceled",
+				submitted, queued, running, completed, failedN, canceled)
+		}
+		if hits, ok := get(MetricSvcCacheHits); ok && ok3 && hits > completed {
+			fail("service-cache-hits-subset",
+				"%d cache-served jobs out of %d completed", hits, completed)
+		}
+	}
+
 	if reads, ok := get(MetricReads); ok {
 		ptw, ok1 := get(MetricDRAMRefsPTW)
 		rep, ok2 := get(MetricDRAMRefsReplay)

@@ -149,3 +149,65 @@ func TestRegisterStatsGaugesTracksLiveStats(t *testing.T) {
 		t.Fatal("live gauge snapshot should reflect the corrupted counter")
 	}
 }
+
+// svcCounters builds a consistent service snapshot: 10 submissions
+// partitioned across lifecycle states, with cache hits bounded by
+// completions.
+func svcCounters() map[string]uint64 {
+	return map[string]uint64{
+		MetricSvcSubmitted: 10,
+		MetricSvcQueued:    2,
+		MetricSvcRunning:   1,
+		MetricSvcCompleted: 5,
+		MetricSvcFailed:    1,
+		MetricSvcCanceled:  1,
+		MetricSvcCacheHits: 3,
+		MetricSvcDedupHits: 4, // outside the conservation law
+	}
+}
+
+func TestAuditServiceJobConservation(t *testing.T) {
+	if v := Audit(Snapshot{Counters: svcCounters()}); len(v) != 0 {
+		t.Fatalf("consistent service counters audited dirty: %v", v)
+	}
+
+	lost := svcCounters()
+	lost[MetricSvcQueued]-- // one job record vanished from every state
+	vs := Audit(Snapshot{Counters: lost})
+	if len(vs) != 1 || vs[0].Check != "service-job-conservation" {
+		t.Fatalf("want exactly service-job-conservation, got %v", vs)
+	}
+	if vs[0].Detail == "" {
+		t.Fatal("violation has no detail")
+	}
+
+	// Rejections and dedup hits sit outside the partition: bumping them
+	// must not trip the law.
+	ok := svcCounters()
+	ok[MetricSvcRejectedQuota] = 7
+	ok[MetricSvcRejectedQueue] = 3
+	ok[MetricSvcDedupHits] = 99
+	if v := Audit(Snapshot{Counters: ok}); len(v) != 0 {
+		t.Fatalf("rejections should not affect conservation, got %v", v)
+	}
+}
+
+func TestAuditServiceCacheHitsSubset(t *testing.T) {
+	c := svcCounters()
+	c[MetricSvcCacheHits] = c[MetricSvcCompleted] + 1
+	vs := Audit(Snapshot{Counters: c})
+	if len(vs) != 1 || vs[0].Check != "service-cache-hits-subset" {
+		t.Fatalf("want exactly service-cache-hits-subset, got %v", vs)
+	}
+}
+
+// A snapshot missing any one lifecycle state skips the service checks
+// rather than failing on a partial view.
+func TestAuditServicePartialSnapshotSkipped(t *testing.T) {
+	c := svcCounters()
+	delete(c, MetricSvcRunning)
+	c[MetricSvcQueued] = 1 // would violate conservation if checked
+	if v := Audit(Snapshot{Counters: c}); len(v) != 0 {
+		t.Fatalf("partial service snapshot should audit clean, got %v", v)
+	}
+}

@@ -49,10 +49,11 @@ type Options struct {
 
 // Server is the introspection HTTP server.
 type Server struct {
-	opts Options
-	mux  *http.ServeMux
-	http *http.Server
-	ln   net.Listener
+	opts  Options
+	mux   *http.ServeMux
+	http  *http.Server
+	ln    net.Listener
+	extra []string // index lines for endpoints mounted via Handle
 }
 
 // New builds a server from options (it does not listen yet).
@@ -74,6 +75,19 @@ func New(opts Options) *Server {
 // Handler returns the server's routing handler (for tests and for
 // embedding in an existing server).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle mounts an additional endpoint on the server's mux — how
+// tempo-serve grows the introspection plane into a job-serving API
+// without a second listener. pattern is a net/http ServeMux pattern
+// (method and wildcards allowed, e.g. "POST /jobs"); doc, when
+// non-empty, adds a line to the index page so curl of the bare port
+// stays self-documenting. Handle must be called before Start.
+func (s *Server) Handle(pattern, doc string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+	if doc != "" {
+		s.extra = append(s.extra, fmt.Sprintf("  %-22s %s", pattern, doc))
+	}
+}
 
 // Start listens on addr (":0" picks a free port) and serves in a
 // background goroutine, returning the bound address.
@@ -107,6 +121,9 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /runs          experiment batch progress (JSON)")
 	fmt.Fprintln(w, "  /events        interval-stats SSE stream")
 	fmt.Fprintln(w, "  /debug/pprof/  Go profiling")
+	for _, line := range s.extra {
+		fmt.Fprintln(w, line)
+	}
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {

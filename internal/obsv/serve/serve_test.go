@@ -252,6 +252,54 @@ func TestBroadcasterDropsWhenSlow(t *testing.T) {
 	}
 }
 
+// A stuck subscriber must not degrade a healthy one: the fast consumer
+// sees every event in order, the slow one accrues drops, and the
+// producer never blocks on either.
+func TestBroadcasterSlowConsumerDoesNotStarveFast(t *testing.T) {
+	bc := NewBroadcaster()
+	slow, cancelSlow := bc.Subscribe()
+	defer cancelSlow()
+	fast, cancelFast := bc.Subscribe()
+	defer cancelFast()
+
+	// The fast consumer drains after every write, so its buffer never
+	// fills; the slow one never reads at all.
+	const total = subBuffer + 200
+	for i := 0; i < total; i++ {
+		done := make(chan struct{})
+		go func() {
+			fmt.Fprintf(bc, "event %d\n", i)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatalf("Write %d blocked with a stuck subscriber attached", i)
+		}
+		select {
+		case line := <-fast:
+			if want := fmt.Sprintf("event %d", i); string(line) != want {
+				t.Fatalf("fast subscriber event %d = %q, want %q", i, line, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("fast subscriber starved at event %d", i)
+		}
+	}
+	if d := bc.dropsOf(fast); d != 0 {
+		t.Fatalf("fast subscriber dropped %d events", d)
+	}
+	if d := bc.dropsOf(slow); d != total-subBuffer {
+		t.Fatalf("slow subscriber dropped = %d, want %d", d, total-subBuffer)
+	}
+	// The slow channel still holds its buffered prefix, in order.
+	if len(slow) != subBuffer {
+		t.Fatalf("slow buffered = %d, want %d", len(slow), subBuffer)
+	}
+	if first := <-slow; string(first) != "event 0" {
+		t.Fatalf("slow subscriber first event = %q", first)
+	}
+}
+
 func TestServerStartAndClose(t *testing.T) {
 	srv := New(Options{Metrics: func() obsv.Snapshot { return testSnapshot() }})
 	addr, err := srv.Start("127.0.0.1:0")

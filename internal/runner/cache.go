@@ -8,6 +8,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -48,6 +52,17 @@ func ConfigKey(cfg sim.Config) (string, error) {
 // degrade to misses.
 type DiskCache struct {
 	dir string
+
+	// staleVersions are other v* schema roots found under the cache
+	// directory at open time, with staleEntries total entries between
+	// them — a populated cache written by a different engine version,
+	// which this version cannot read (keys are version-prefixed).
+	staleVersions []int
+	staleEntries  int
+	// decodeFailures counts entries that existed under the current
+	// schema root but failed to gob-decode (corrupt, or a result-layout
+	// change without a SchemaVersion bump).
+	decodeFailures atomic.Uint64
 }
 
 // NewDiskCache opens (creating if needed) a cache rooted at dir.
@@ -56,8 +71,59 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: cache dir: %w", err)
 	}
-	return &DiskCache{dir: root}, nil
+	c := &DiskCache{dir: root}
+	c.scanStale(dir)
+	return c, nil
 }
+
+// scanStale inventories sibling v* schema roots so lookups against a
+// cache populated by a different engine version are surfaced as a
+// schema mismatch instead of silently missing on every key.
+func (c *DiskCache) scanStale(root string) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "v") {
+			continue
+		}
+		ver, err := strconv.Atoi(e.Name()[1:])
+		if err != nil || ver == SchemaVersion {
+			continue
+		}
+		n := countGobs(filepath.Join(root, e.Name()))
+		if n > 0 {
+			c.staleVersions = append(c.staleVersions, ver)
+			c.staleEntries += n
+		}
+	}
+	sort.Ints(c.staleVersions)
+}
+
+// countGobs counts .gob entries under dir.
+func countGobs(dir string) int {
+	n := 0
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".gob" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Stale reports the foreign schema versions present under the cache
+// root and how many entries they hold — entries this engine version
+// ignores. Empty/zero for a cache written only by the current schema.
+func (c *DiskCache) Stale() (versions []int, entries int) {
+	return c.staleVersions, c.staleEntries
+}
+
+// DecodeFailures counts Get calls that found an entry under the
+// current schema root but could not decode it. Each one degraded to a
+// miss (and will be overwritten by the re-run's Put).
+func (c *DiskCache) DecodeFailures() uint64 { return c.decodeFailures.Load() }
 
 // Dir returns the versioned cache root.
 func (c *DiskCache) Dir() string { return c.dir }
@@ -80,6 +146,7 @@ func (c *DiskCache) Get(key string) (*sim.Result, bool) {
 	defer f.Close()
 	var res sim.Result
 	if err := gob.NewDecoder(f).Decode(&res); err != nil {
+		c.decodeFailures.Add(1)
 		return nil, false
 	}
 	return &res, true

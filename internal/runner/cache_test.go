@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -104,5 +106,127 @@ func TestDiskCacheVersionIsolation(t *testing.T) {
 	}
 	if filepath.Base(dc.Dir()) != "v1" {
 		t.Errorf("cache root %q not versioned", dc.Dir())
+	}
+}
+
+func TestDiskCacheStaleSchemaInventory(t *testing.T) {
+	dir := t.TempDir()
+	// A populated foreign schema root, as left by a different engine
+	// version sharing the cache directory.
+	foreign := filepath.Join(dir, "v999", "ab")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"abcd.gob", "abce.gob"} {
+		if err := os.WriteFile(filepath.Join(foreign, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-schema siblings must not count.
+	if err := os.MkdirAll(filepath.Join(dir, "vault"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vers, n := dc.Stale()
+	if len(vers) != 1 || vers[0] != 999 || n != 2 {
+		t.Fatalf("Stale() = %v, %d; want [999], 2", vers, n)
+	}
+	// A cache with only the current schema reports nothing stale.
+	clean, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vers, n := clean.Stale(); len(vers) != 0 || n != 0 {
+		t.Fatalf("clean cache Stale() = %v, %d", vers, n)
+	}
+}
+
+func TestDiskCacheDecodeFailuresCounted(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := ConfigKey(sim.DefaultConfig("mcf"))
+	if err := dc.Put(key, &sim.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dc.Dir(), key[:2], key+".gob")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc.Get(key)
+	dc.Get(key)
+	if n := dc.DecodeFailures(); n != 2 {
+		t.Fatalf("DecodeFailures = %d, want 2", n)
+	}
+}
+
+// A cache populated under a foreign schema (or holding undecodable
+// entries) must surface as a schema mismatch — counted on the pool and
+// warned once via telemetry — rather than silently reading as a cold
+// cache.
+func TestPoolSurfacesCacheSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "v999", "ab")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(foreign, "abcd.gob"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An undecodable entry under the current schema for one of the jobs.
+	badKey, _ := ConfigKey(cfgWithSeed(1))
+	if err := dc.Put(badKey, &sim.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(dc.Dir(), badKey[:2], badKey+".gob")
+	if err := os.WriteFile(badPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tel := &Telemetry{Out: &out}
+	p := New(Options{Parallelism: 1, Cache: dc, Telemetry: tel,
+		Exec: func(cfg sim.Config) (*sim.Result, error) { return stubResult(cfg), nil }})
+	p.Run(context.Background(), []Job{
+		{Key: "bad", Config: cfgWithSeed(1)},
+		{Key: "b", Config: cfgWithSeed(2)},
+		{Key: "c", Config: cfgWithSeed(3)},
+	})
+	// 1 foreign entry + 1 decode failure, all otherwise reading as misses.
+	if n := p.CacheSchemaMismatches(); n != 2 {
+		t.Fatalf("CacheSchemaMismatches = %d, want 2", n)
+	}
+	warns := strings.Count(out.String(), "cache schema mismatch")
+	if warns != 1 {
+		t.Fatalf("schema warning fired %d times, want once:\n%s", warns, out.String())
+	}
+	if !strings.Contains(out.String(), "[999]") || !strings.Contains(out.String(), "1 undecodable") {
+		t.Fatalf("warning lacks versions/decode counts:\n%s", out.String())
+	}
+}
+
+// A clean cache never raises the mismatch machinery.
+func TestPoolNoSchemaMismatchOnCleanCache(t *testing.T) {
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	p := New(Options{Parallelism: 1, Cache: dc, Telemetry: &Telemetry{Out: &out},
+		Exec: func(cfg sim.Config) (*sim.Result, error) { return stubResult(cfg), nil }})
+	p.Run(context.Background(), []Job{{Key: "a", Config: cfgWithSeed(1)}})
+	if n := p.CacheSchemaMismatches(); n != 0 {
+		t.Fatalf("CacheSchemaMismatches = %d on a clean cache", n)
+	}
+	if strings.Contains(out.String(), "schema mismatch") {
+		t.Fatalf("spurious warning:\n%s", out.String())
 	}
 }

@@ -78,6 +78,13 @@ type Pool struct {
 	panicked  atomic.Uint64
 	failed    atomic.Uint64
 	wallTotal atomic.Int64 // nanoseconds spent executing sims
+
+	// schemaMismatches counts cache entries that exist but are
+	// unusable: entries under a foreign v* schema root plus entries
+	// that failed to decode. schemaWarned makes the telemetry warning
+	// fire once per pool rather than once per miss.
+	schemaMismatches atomic.Uint64
+	schemaWarned     atomic.Bool
 }
 
 // New builds a pool. A zero Options value gives GOMAXPROCS workers,
@@ -107,6 +114,14 @@ func (p *Pool) CacheMisses() uint64 { return p.misses.Load() }
 
 // Failed returns how many jobs ended in an error (panics included).
 func (p *Pool) Failed() uint64 { return p.failed.Load() }
+
+// CacheSchemaMismatches returns how many persistent-cache entries were
+// present but unusable — stored under a different schema version, or
+// undecodable under the current one. Non-zero means misses that look
+// cold are actually a schema skew (say, a cache directory written by
+// an older binary), which the pool also reports through telemetry
+// once.
+func (p *Pool) CacheSchemaMismatches() uint64 { return p.schemaMismatches.Load() }
 
 // SimWall returns the summed execution wall-clock across all workers —
 // the serial-equivalent cost of the work the pool has done.
@@ -208,15 +223,25 @@ feed:
 
 // RunOne executes (or recalls) a single job.
 func (p *Pool) RunOne(ctx context.Context, key string, cfg sim.Config) (*sim.Result, error) {
-	h, err := ConfigKey(cfg)
+	r := p.RunJob(ctx, Job{Key: key, Config: cfg})
+	return r.Result, r.Err
+}
+
+// RunJob executes (or recalls) a single job, returning the full
+// JobResult — cache attribution, config hash and wall-clock included.
+// It is the single-job entry point the service coordinator's workers
+// use, so a job served from the persistent cache is distinguishable
+// from one that executed.
+func (p *Pool) RunJob(ctx context.Context, j Job) JobResult {
+	h, err := ConfigKey(j.Config)
 	if err != nil {
-		return nil, err
+		return JobResult{Key: j.Key, Err: err}
 	}
-	r := p.runOne(ctx, Job{Key: key, Config: cfg}, h)
+	r := p.runOne(ctx, j, h)
 	if p.opts.Telemetry != nil {
 		p.opts.Telemetry.note(r)
 	}
-	return r.Result, r.Err
+	return r
 }
 
 // runOne serves one deduplicated job: persistent cache first, then a
@@ -231,6 +256,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 			p.hits.Add(1)
 			return JobResult{Key: j.Key, Hash: hash, Result: res, FromCache: true}
 		}
+		p.noteSchemaMismatch(c)
 	}
 	p.misses.Add(1)
 	start := time.Now()
@@ -252,6 +278,26 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 		}
 	}
 	return JobResult{Key: j.Key, Hash: hash, Result: res, Wall: wall}
+}
+
+// noteSchemaMismatch runs after a cache miss: if the cache holds
+// entries this engine version cannot use (foreign schema roots, or
+// current-schema entries that failed to decode), the count is surfaced
+// instead of letting the miss masquerade as a cold cache. The
+// telemetry warning fires once per pool; the counter stays current.
+func (p *Pool) noteSchemaMismatch(c *DiskCache) {
+	vers, stale := c.Stale()
+	fails := c.DecodeFailures()
+	if stale == 0 && fails == 0 {
+		return
+	}
+	p.schemaMismatches.Store(uint64(stale) + fails)
+	if p.schemaWarned.CompareAndSwap(false, true) {
+		if t := p.opts.Telemetry; t != nil {
+			t.warnf("cache schema mismatch: %d entries under foreign schema versions %v (current v%d), %d undecodable under v%d — all treated as misses",
+				stale, vers, SchemaVersion, fails, SchemaVersion)
+		}
+	}
 }
 
 // outcome carries one execution's result across the guard goroutine.

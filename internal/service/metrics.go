@@ -1,0 +1,54 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/obsv"
+)
+
+// registerMetrics wires the coordinator into the canonical registry
+// namespace. The job-state series are gauges over the live job table,
+// so a snapshot always satisfies the obsv.Audit conservation law
+// (submitted = queued + running + completed + failed + canceled);
+// event-shaped series (cache/dedup hits, rejections) are pre-created
+// counters so the hot paths never touch the registry lock while
+// holding the coordinator's — Snapshot calls the gauges under the
+// registry lock and takes c.mu, so the reverse order would deadlock.
+func (c *Coordinator) registerMetrics(reg *obsv.Registry) {
+	c.mCacheHits = reg.Counter(obsv.MetricSvcCacheHits)
+	c.mDedupHits = reg.Counter(obsv.MetricSvcDedupHits)
+	c.mRejQuota = reg.Counter(obsv.MetricSvcRejectedQuota)
+	c.mRejQueue = reg.Counter(obsv.MetricSvcRejectedQueue)
+	reg.Gauge(obsv.MetricSvcSubmitted, c.gauge(func() uint64 { return c.submitted }))
+	reg.Gauge(obsv.MetricSvcQueued, c.gauge(func() uint64 { return uint64(len(c.queue)) }))
+	reg.Gauge(obsv.MetricSvcRunning, c.gauge(func() uint64 { return uint64(c.running) }))
+	reg.Gauge(obsv.MetricSvcCompleted, c.gauge(func() uint64 { return c.completed }))
+	reg.Gauge(obsv.MetricSvcFailed, c.gauge(func() uint64 { return c.failed }))
+	reg.Gauge(obsv.MetricSvcCanceled, c.gauge(func() uint64 { return c.canceled }))
+}
+
+// gauge wraps a coordinator-state read in the mutex for snapshot-time
+// evaluation.
+func (c *Coordinator) gauge(read func() uint64) func() uint64 {
+	return func() uint64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return read()
+	}
+}
+
+// counter fetches a registry counter by name (nil-safe no-op without a
+// registry). Never call while holding c.mu — see registerMetrics.
+func (c *Coordinator) counter(name string) *obsv.Counter {
+	return c.opts.Registry.Counter(name)
+}
+
+// writeEvent marshals one lifecycle event onto the broadcast stream.
+func writeEvent(w io.Writer, ev Event) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	w.Write(append(blob, '\n'))
+}

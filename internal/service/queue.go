@@ -1,0 +1,41 @@
+package service
+
+// jobQueue is the coordinator's admission queue: a priority heap of
+// queued jobs ordering higher Priority first and FIFO (submission
+// sequence) within a priority level. Jobs track their heap index so
+// cancellation of a queued job and priority bumps from deduplicated
+// resubmissions are O(log n) instead of a scan.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+
+// Push implements heap.Interface (use heap.Push, never call directly).
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+
+// Pop implements heap.Interface (use heap.Pop, never call directly).
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}

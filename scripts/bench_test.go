@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runBench executes bench.sh --dry-run with the snapshot and history
+// redirected into dir, returning combined output.
+func runBench(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("bash", "bench.sh", "--dry-run")
+	cmd.Env = append(os.Environ(),
+		"BENCH_OUT="+filepath.Join(dir, "hotpath.json"),
+		"BENCH_HISTORY="+filepath.Join(dir, "history.jsonl"),
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench.sh --dry-run: %v\n%s", err, out)
+	}
+	return string(out)
+}
+
+func historyLines(t *testing.T, dir string) []string {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(dir, "history.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+}
+
+// An unchanged revision contributes exactly one history record no
+// matter how often bench.sh runs: the second run replaces the first
+// run's line instead of appending a duplicate.
+func TestBenchHistoryDedupesUnchangedCommit(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	dir := t.TempDir()
+
+	out := runBench(t, dir)
+	if !strings.Contains(out, "appended") {
+		t.Fatalf("first run should append:\n%s", out)
+	}
+	first := historyLines(t, dir)
+	if len(first) != 1 {
+		t.Fatalf("history after first run has %d lines, want 1", len(first))
+	}
+	if !strings.Contains(first[0], `"commit":"`) || !strings.Contains(first[0], `"hotpath":{`) {
+		t.Fatalf("malformed history record: %s", first[0])
+	}
+
+	out = runBench(t, dir)
+	if !strings.Contains(out, "replaced last record") {
+		t.Fatalf("second run at the same revision should replace:\n%s", out)
+	}
+	second := historyLines(t, dir)
+	if len(second) != 1 {
+		t.Fatalf("history after re-run has %d lines, want 1 (duplicate appended)", len(second))
+	}
+}
+
+// A history whose last record belongs to a different revision is
+// appended to, never rewritten — only same-revision re-runs replace.
+func TestBenchHistoryAppendsAcrossCommits(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	dir := t.TempDir()
+	prior := `{"timestamp":"2026-01-01T00:00:00Z","commit":"deadbee","hotpath":{}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "history.jsonl"), []byte(prior), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runBench(t, dir)
+	if !strings.Contains(out, "appended") {
+		t.Fatalf("run at a new revision should append:\n%s", out)
+	}
+	lines := historyLines(t, dir)
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"commit":"deadbee"`) {
+		t.Fatalf("prior record rewritten: %s", lines[0])
+	}
+}

@@ -1,0 +1,36 @@
+// Command mkcfg prints a ready-to-submit simulation configuration as
+// JSON on stdout: the library default for the named workload (-workload,
+// default xsbench) with the trace length overridden (-records, default
+// 2000) and optionally TEMPO enabled (-tempo). It exists so shell-level
+// tooling — scripts/serve-smoke.sh in CI — can POST a well-formed tiny
+// config to tempo-serve's job API without hand-maintaining the Config
+// schema in JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	tempo "repro"
+)
+
+func main() {
+	workload := flag.String("workload", "xsbench", "workload name")
+	records := flag.Int("records", 2000, "trace records per core")
+	useTempo := flag.Bool("tempo", false, "enable TEMPO prefetching")
+	flag.Parse()
+
+	cfg := tempo.DefaultConfig(*workload)
+	cfg.Records = *records
+	if *useTempo {
+		cfg.Tempo = tempo.DefaultTempo()
+	}
+	blob, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkcfg:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(blob, '\n'))
+}

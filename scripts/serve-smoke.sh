@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the tempo-serve job service
+# (CI's "Serve smoke" step; see SERVICE.md).
+#
+# Builds tempo-serve, starts it on an ephemeral port with a throwaway
+# cache directory, and drives one job through the HTTP API:
+#   1. POST /jobs with a tiny generated config (scripts/mkcfg)
+#      -> expect 201 Created and a job id
+#   2. poll GET /jobs/{id} until the job reaches a terminal state
+#      -> expect "completed" and a result payload
+#   3. POST the identical config again
+#      -> expect 200 with "cacheHit": true and no new execution
+# Any deviation (timeout, failed job, cache miss on re-submit) fails
+# the script; the server is torn down on exit either way.
+#
+# Usage:  scripts/serve-smoke.sh [records]   (default 2000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RECORDS="${1:-2000}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "${SERVER_PID}" ]; then
+    kill "${SERVER_PID}" 2>/dev/null || true
+    wait "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+echo "== building tempo-serve" >&2
+go build -o "${TMP}/tempo-serve" ./cmd/tempo-serve
+
+echo "== starting tempo-serve on an ephemeral port" >&2
+"${TMP}/tempo-serve" -http 127.0.0.1:0 -cache-dir "${TMP}/cache" \
+  2> "${TMP}/serve.log" &
+SERVER_PID=$!
+
+BASE=""
+for _ in $(seq 1 100); do
+  BASE="$(sed -n 's#^tempo-serve listening on \(http://[^ ]*\)$#\1#p' "${TMP}/serve.log" | head -n 1)"
+  [ -n "${BASE}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "serve-smoke: server died during startup:" >&2
+    cat "${TMP}/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${BASE}" ]; then
+  echo "serve-smoke: server never announced its address" >&2
+  cat "${TMP}/serve.log" >&2
+  exit 1
+fi
+echo "== server at ${BASE}" >&2
+
+echo "== submitting a tiny xsbench config (${RECORDS} records)" >&2
+go run ./scripts/mkcfg -workload xsbench -records "${RECORDS}" > "${TMP}/cfg.json"
+python3 -c 'import json,sys; json.dump({"config": json.load(open(sys.argv[1]))}, open(sys.argv[2], "w"))' \
+  "${TMP}/cfg.json" "${TMP}/req.json"
+
+STATUS="$(curl -sS -o "${TMP}/submit1.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d @"${TMP}/req.json" "${BASE}/jobs")"
+if [ "${STATUS}" != 201 ]; then
+  echo "serve-smoke: first submit returned HTTP ${STATUS}, want 201:" >&2
+  cat "${TMP}/submit1.json" >&2
+  exit 1
+fi
+JOB_ID="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["job"]["id"])' "${TMP}/submit1.json")"
+echo "== job ${JOB_ID} accepted, polling to completion" >&2
+
+STATE=""
+for _ in $(seq 1 600); do
+  curl -sS -o "${TMP}/job.json" "${BASE}/jobs/${JOB_ID}"
+  STATE="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["job"]["state"])' "${TMP}/job.json")"
+  case "${STATE}" in
+    completed) break ;;
+    failed|canceled)
+      echo "serve-smoke: job reached ${STATE}:" >&2
+      cat "${TMP}/job.json" >&2
+      exit 1 ;;
+  esac
+  sleep 0.2
+done
+if [ "${STATE}" != completed ]; then
+  echo "serve-smoke: job still ${STATE} after polling window" >&2
+  exit 1
+fi
+python3 -c 'import json,sys
+st = json.load(open(sys.argv[1]))
+assert st.get("result"), "completed job carries no result"
+' "${TMP}/job.json"
+echo "== job completed with a result payload" >&2
+
+echo "== re-submitting the identical config" >&2
+STATUS="$(curl -sS -o "${TMP}/submit2.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d @"${TMP}/req.json" "${BASE}/jobs")"
+if [ "${STATUS}" != 200 ]; then
+  echo "serve-smoke: re-submit returned HTTP ${STATUS}, want 200:" >&2
+  cat "${TMP}/submit2.json" >&2
+  exit 1
+fi
+python3 -c 'import json,sys
+resp = json.load(open(sys.argv[1]))
+assert resp.get("cacheHit") is True, "re-submit was not served from cache: %r" % resp
+assert resp.get("created") is False, "re-submit created a new job: %r" % resp
+' "${TMP}/submit2.json"
+
+echo "serve-smoke: OK (job ${JOB_ID} ran once, re-submit was a cache hit)" >&2

@@ -217,15 +217,20 @@ func NewDiskCache(dir string) (*DiskCache, error) { return runner.NewDiskCache(d
 // persistent cache.
 func ConfigKey(cfg Config) (string, error) { return runner.ConfigKey(cfg) }
 
+// Engine executes deduplicated simulation batches for a parallel
+// Runner — a local *Pool, or internal/service/client's remote
+// tempo-serve submission client.
+type Engine = experiments.Engine
+
 // NewParallelRunner builds an experiment runner whose simulations
-// execute through the given pool: each figure enumerates its config
-// set up front, the pool runs the deduplicated batch across its
+// execute through the given engine: each figure enumerates its config
+// set up front, the engine runs the deduplicated batch across its
 // workers (skipping sims its cache already holds), and the figure is
 // evaluated from the populated results. Reports are byte-identical to
 // a serial run.
-func NewParallelRunner(s Scale, pool *Pool) *Runner {
+func NewParallelRunner(s Scale, eng Engine) *Runner {
 	r := experiments.NewRunner(s)
-	r.Engine = pool
+	r.Engine = eng
 	return r
 }
 
