@@ -3,7 +3,12 @@
 // Simulations fan out across a worker pool (-parallel, default
 // GOMAXPROCS) through the internal/runner engine; results land in a
 // persistent cache when -cache-dir is set, so interrupted sweeps
-// resume and -figure subsets reuse completed runs. The run ends with
+// resume and -figure subsets reuse completed runs. -workers
+// additionally parallelizes inside each simulation (epoch-barrier
+// core execution plus sharded DRAM drains; results are bit-identical
+// at any count). It defaults to 1 because the sweep already saturates
+// the machine across simulations — raise it only when running few
+// sims on many idle cores. The run ends with
 // total wall-clock, executed/cached simulation counts, and — when a
 // cache or -runs log is configured — a machine-readable runs.jsonl.
 //
@@ -79,6 +84,7 @@ func main() {
 		extras    = flag.Bool("extras", false, "also run the ablation studies (abl01..abl04)")
 		compare   = flag.String("compare", "", "write a paper-vs-measured markdown table to this file")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count")
+		workers   = flag.Int("workers", 1, "intra-run worker threads per simulation (results are identical at any count)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result cache directory (empty: in-memory only)")
 		timeout   = flag.Duration("timeout", 0, "per-simulation timeout (0: none)")
 		runsLog   = flag.String("runs", "", "write per-job runs.jsonl here (default: <cache-dir>/runs.jsonl)")
@@ -147,7 +153,7 @@ func main() {
 
 	// Assemble the execution engine: worker pool, persistent cache,
 	// progress telemetry.
-	popts := runner.Options{Parallelism: *parallel, Timeout: *timeout}
+	popts := runner.Options{Parallelism: *parallel, Timeout: *timeout, SimWorkers: *workers}
 	if *cacheDir != "" {
 		dc, err := runner.NewDiskCache(*cacheDir)
 		if err != nil {

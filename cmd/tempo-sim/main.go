@@ -19,6 +19,11 @@
 // (LLC fill on/off) and -pt-wait (PT-row wait cycles); -imp enables
 // the indirect prefetcher.
 //
+// Execution: -workers sets the intra-run worker-thread count (default
+// the machine's CPU count). Parallel execution is bit-identical to the
+// serial coordinator — -workers 1 runs the exact serial path — so the
+// flag trades wall-clock only, never results.
+//
 // Observability (OBSERVABILITY.md):
 //
 //	tempo-sim -tempo -trace-events out.json -trace-from 1000 -trace-records 200
@@ -69,6 +74,7 @@ type options struct {
 	subRows   int
 	pfSubRows int
 	seed      int64
+	workers   int
 }
 
 // buildConfig validates the options and assembles a run configuration.
@@ -125,6 +131,7 @@ func buildConfig(o options) (tempo.Config, error) {
 	cfg.OS.MemhogFraction = o.memhog
 	cfg.SubRows = o.subRows
 	cfg.PrefetchSubRows = o.pfSubRows
+	cfg.Workers = o.workers
 	return cfg, nil
 }
 
@@ -149,6 +156,8 @@ func main() {
 	flag.IntVar(&o.subRows, "sub-rows", 0, "sub-row buffers per bank (0 = single row buffer)")
 	flag.IntVar(&o.pfSubRows, "prefetch-sub-rows", 0, "sub-rows dedicated to TEMPO prefetches")
 	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(),
+		"intra-run worker threads (1 = exact serial coordinator; results are identical at any count)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	traceOut := flag.String("trace-events", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")

@@ -49,9 +49,14 @@ func DefaultConfig() Config {
 // trigger post-translation prefetches that land in the row buffer and
 // (via OnPrefetchDone) the LLC.
 type Controller struct {
-	cfg   Config
-	banks [][]*Bank // [channel][bank]
-	busAt []uint64  // per-channel data-bus availability
+	cfg Config
+	// chans holds the per-channel timing domains. Channels are fully
+	// independent below the transaction queue — banks, data bus,
+	// refresh cadence and the tFAW activate window are all per-channel
+	// — which is what the sharded end-of-run drain (DrainParallel)
+	// exploits: each channel's state can be cloned, advanced
+	// speculatively on a worker, and installed atomically.
+	chans []chanState
 	queue []*Request
 	sched Scheduler
 	st    *stats.Stats
@@ -81,6 +86,11 @@ type Controller struct {
 	// frontier is the latest issue time seen — the controller's
 	// notion of "now" for scheduler aging and grace periods.
 	frontier uint64
+	// drainsSharded counts DrainParallel calls that committed a
+	// sharded drain (as opposed to falling back to the serial path);
+	// ShardedDrains exposes it so tests and callers can tell the two
+	// apart — the results are bit-identical by design.
+	drainsSharded uint64
 	// pool recycles transactions; eligible is DrainUpTo's reusable
 	// filter scratch. Both keep the steady-state serve path free of
 	// allocations.
@@ -89,12 +99,33 @@ type Controller struct {
 	// demandSub/prefetchSub cache the sub-row index sets handed to
 	// banks when no SubAlloc policy is installed.
 	demandSub, prefetchSub []int
-	// nextRefresh is the per-channel next auto-refresh deadline.
-	nextRefresh []uint64
-	// acts is a per-channel ring of the last four ACT issue times,
-	// enforcing the tFAW constraint; actPos counts ACTs issued.
-	acts   [][4]uint64
-	actPos []int
+}
+
+// chanState is one channel's complete timing domain: its banks, the
+// data-bus availability, the auto-refresh deadline, and the ring of
+// the last four ACT issue times enforcing tFAW. Everything a serve
+// mutates besides the request itself and the stats sink lives here
+// (or in the global frontier/served counters, which merge trivially),
+// so cloning a chanState is enough to advance a channel speculatively.
+type chanState struct {
+	banks []*Bank
+	// busAt is the cycle the channel's data bus frees.
+	busAt uint64
+	// nextRefresh is the next auto-refresh deadline (0 = no refresh).
+	nextRefresh uint64
+	// acts rings the last four ACT issue times; actPos counts ACTs.
+	acts   [4]uint64
+	actPos int
+}
+
+// clone deep-copies the channel's timing domain (banks included).
+func (cs *chanState) clone() chanState {
+	c := *cs
+	c.banks = make([]*Bank, len(cs.banks))
+	for i, b := range cs.banks {
+		c.banks[i] = b.Clone()
+	}
+	return c
 }
 
 // NewController builds a controller. The scheduler is mandatory; stats
@@ -108,23 +139,18 @@ func NewController(cfg Config, sched Scheduler, st *stats.Stats) *Controller {
 		panic(fmt.Sprintf("dram: invalid geometry %+v", g))
 	}
 	c := &Controller{cfg: cfg, sched: sched, st: st,
-		busAt:       make([]uint64, g.Channels),
-		nextRefresh: make([]uint64, g.Channels),
-		acts:        make([][4]uint64, g.Channels),
-		actPos:      make([]int, g.Channels)}
-	if cfg.Timing.TRFC > 0 {
-		for ch := range c.nextRefresh {
-			c.nextRefresh[ch] = cfg.Timing.TREFI
-		}
-	}
+		chans: make([]chanState, g.Channels)}
 	id := 0
 	for ch := 0; ch < g.Channels; ch++ {
-		row := make([]*Bank, g.BanksPerCh)
-		for b := range row {
-			row[b] = NewBank(id, g, cfg.Timing, cfg.Policy)
+		cs := &c.chans[ch]
+		if cfg.Timing.TRFC > 0 {
+			cs.nextRefresh = cfg.Timing.TREFI
+		}
+		cs.banks = make([]*Bank, g.BanksPerCh)
+		for b := range cs.banks {
+			cs.banks[b] = NewBank(id, g, cfg.Timing, cfg.Policy)
 			id++
 		}
-		c.banks = append(c.banks, row)
 	}
 	return c
 }
@@ -161,7 +187,7 @@ func (c *Controller) Submit(r *Request) {
 // WouldRowHit implements RowPeeker for schedulers.
 func (c *Controller) WouldRowHit(addr mem.PAddr) bool {
 	loc := c.cfg.Geometry.Decode(addr)
-	bank := c.banks[loc.Channel][loc.Bank]
+	bank := c.chans[loc.Channel].banks[loc.Bank]
 	return bank.WouldHit(loc.Row, loc.Segment(c.cfg.Geometry), bank.ReadyAt())
 }
 
@@ -171,7 +197,7 @@ func (c *Controller) WouldRowHit(addr mem.PAddr) bool {
 // every row open/close/refresh/pin. Identical to
 // WouldRowHit(r.Addr), amortised O(1) per scan step.
 func (c *Controller) WouldRowHitReq(r *Request) bool {
-	bank := c.banks[r.loc.Channel][r.loc.Bank]
+	bank := c.chans[r.loc.Channel].banks[r.loc.Bank]
 	if r.hitVersion != bank.version {
 		r.wouldHit = bank.WouldHit(r.loc.Row, r.seg, bank.readyAt)
 		r.hitVersion = bank.version
@@ -189,17 +215,19 @@ func (c *Controller) ServeOne() *Request {
 	return c.executeOne()
 }
 
-// executeOne serves the scheduler's chosen request and returns it.
-// The queue must be non-empty.
-func (c *Controller) executeOne() *Request {
-	idx := c.sched.Pick(c.queue, c.clock(), c)
-	r := c.queue[idx]
-	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
-
+// serveOn performs the timing and bank work of serving r on the given
+// channel state, charging st: refresh catch-up, bank readiness, data-
+// bus burst placement, tFAW, the bank access itself, and the request's
+// result fields. It is the shared core of executeOne (which runs it on
+// the controller's live channel state and global stats) and the
+// sharded drain (which runs it on cloned channel state with a shard-
+// local stats sink). The caller handles everything channel-external:
+// the frontier, served counters, recorder events, and the TEMPO hooks.
+func (c *Controller) serveOn(cs *chanState, ch int, r *Request, st *stats.Stats) (outcome stats.RowOutcome, issue, complete uint64) {
 	loc := r.loc // decoded once at Submit
-	c.refreshChannel(loc.Channel, r.Enqueue)
-	bank := c.banks[loc.Channel][loc.Bank]
-	issue := r.Enqueue
+	c.refreshOn(cs, ch, r.Enqueue, st)
+	bank := cs.banks[loc.Bank]
+	issue = r.Enqueue
 	if ba := bank.ReadyAt(); ba > issue {
 		issue = ba
 	}
@@ -210,46 +238,61 @@ func (c *Controller) executeOne() *Request {
 	for tries := 0; tries < 4; tries++ {
 		_, lat := bank.Peek(loc.Row, r.seg, issue)
 		burstStart := issue + lat - c.cfg.Timing.TBurst
-		bus := c.busAt[loc.Channel]
-		if burstStart >= bus {
+		if burstStart >= cs.busAt {
 			break
 		}
-		issue += bus - burstStart
+		issue += cs.busAt - burstStart
 	}
 	// tFAW: a fifth activate within the window of the last four waits
 	// it out.
-	if t := c.cfg.Timing; t.TFAW > 0 && c.actPos[loc.Channel] >= 4 {
+	if t := c.cfg.Timing; t.TFAW > 0 && cs.actPos >= 4 {
 		if out, _ := bank.Peek(loc.Row, r.seg, issue); out != stats.RowHit {
-			fourBack := c.acts[loc.Channel][c.actPos[loc.Channel]%4]
+			fourBack := cs.acts[cs.actPos%4]
 			if earliest := fourBack + t.TFAW; issue < earliest {
 				issue = earliest
 			}
 		}
 	}
 	allowed := c.allowedSubRows(r)
-	outcome, complete := bank.Access(loc.Row, r.seg, issue, allowed, c.st)
+	var done uint64
+	outcome, done = bank.Access(loc.Row, r.seg, issue, allowed, st)
+	complete = done
 	if outcome != stats.RowHit && c.cfg.Timing.TFAW > 0 {
-		c.acts[loc.Channel][c.actPos[loc.Channel]%4] = issue
-		c.actPos[loc.Channel]++
+		cs.acts[cs.actPos%4] = issue
+		cs.actPos++
 	}
-	c.busAt[loc.Channel] = complete // bus busy until the burst ends
+	cs.busAt = complete // bus busy until the burst ends
+	r.Done, r.Issue, r.Complete, r.Outcome = true, issue, complete, outcome
+
+	st.AddDRAMRef(r.Category, outcome)
+	st.AddDRAMLatency(r.Category, complete-r.Enqueue)
+	st.DRAMBusyCycles += complete - issue
+	if r.Write {
+		st.WrCount++
+	} else {
+		st.RdCount++
+	}
+	return outcome, issue, complete
+}
+
+// executeOne serves the scheduler's chosen request and returns it.
+// The queue must be non-empty.
+func (c *Controller) executeOne() *Request {
+	idx := c.sched.Pick(c.queue, c.clock(), c)
+	r := c.queue[idx]
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+
+	loc := r.loc
+	bank := c.chans[loc.Channel].banks[loc.Bank]
+	outcome, issue, complete := c.serveOn(&c.chans[loc.Channel], loc.Channel, r, c.st)
 	if issue > c.frontier {
 		c.frontier = issue
 	}
-	r.Done, r.Issue, r.Complete, r.Outcome = true, issue, complete, outcome
 	c.served++
 	if r.waiter {
 		c.servedWaiters++
 	}
 
-	c.st.AddDRAMRef(r.Category, outcome)
-	c.st.AddDRAMLatency(r.Category, complete-r.Enqueue)
-	c.st.DRAMBusyCycles += complete - issue
-	if r.Write {
-		c.st.WrCount++
-	} else {
-		c.st.RdCount++
-	}
 	if c.Rec.Active() {
 		c.Rec.Emit(obsv.Event{Kind: obsv.EvDRAM, Cycle: r.Enqueue,
 			Dur: complete - r.Enqueue, Core: int16(r.CoreID),
@@ -327,14 +370,28 @@ func (c *Controller) allowedSubRows(r *Request) []int {
 		return nil
 	}
 	// The two partitions are fixed by geometry; build them once.
+	// DrainParallel pre-builds them (buildSubRowPartitions) before
+	// fanning out, so this lazy init never races.
 	if c.prefetchSub == nil {
-		c.prefetchSub = seq(0, g.PrefetchSubRows)
-		c.demandSub = seq(g.PrefetchSubRows, g.SubRows)
+		c.buildSubRowPartitions()
 	}
 	if r.Prefetch {
 		return c.prefetchSub
 	}
 	return c.demandSub
+}
+
+// buildSubRowPartitions materialises the fixed geometry-derived
+// sub-row partitions allowedSubRows otherwise builds lazily.
+func (c *Controller) buildSubRowPartitions() {
+	g := c.cfg.Geometry
+	if g.SubRows <= 1 || g.PrefetchSubRows <= 0 || g.PrefetchSubRows >= g.SubRows {
+		return
+	}
+	if c.prefetchSub == nil {
+		c.prefetchSub = seq(0, g.PrefetchSubRows)
+		c.demandSub = seq(g.PrefetchSubRows, g.SubRows)
+	}
 }
 
 // RunUntil executes queued transactions, in scheduler order, until r
@@ -410,25 +467,25 @@ func (c *Controller) Drain() {
 // the latest issue time it has committed (monotonic).
 func (c *Controller) clock() uint64 { return c.frontier }
 
-// refreshChannel applies any auto-refreshes due at or before `now` on
-// the channel: all banks precharge and stall for TRFC.
-func (c *Controller) refreshChannel(ch int, now uint64) {
+// refreshOn applies any auto-refreshes due at or before `now` on the
+// given channel state: all banks precharge and stall for TRFC.
+func (c *Controller) refreshOn(cs *chanState, ch int, now uint64, st *stats.Stats) {
 	t := c.cfg.Timing
 	if t.TRFC == 0 {
 		return
 	}
-	for c.nextRefresh[ch] <= now {
-		start := c.nextRefresh[ch]
-		for _, b := range c.banks[ch] {
-			b.Refresh(start, t.TRFC, c.st)
+	for cs.nextRefresh <= now {
+		start := cs.nextRefresh
+		for _, b := range cs.banks {
+			b.Refresh(start, t.TRFC, st)
 		}
-		c.st.RefCount++
+		st.RefCount++
 		if c.Rec.Active() {
 			c.Rec.Emit(obsv.Event{Kind: obsv.EvRefresh, Cycle: start,
 				Dur: t.TRFC, Core: -1, A: uint8(ch),
 				Aux: obsv.PackDRAMAux(ch, 0, 0)})
 		}
-		c.nextRefresh[ch] += t.TREFI
+		cs.nextRefresh += t.TREFI
 	}
 }
 

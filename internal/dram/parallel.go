@@ -1,0 +1,220 @@
+package dram
+
+import (
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// drainParallelMin is the queue length below which DrainParallel does
+// not bother sharding: the clone/merge overhead only pays for itself
+// on the deep end-of-run queues the batching coordinator accumulates.
+const drainParallelMin = 64
+
+// drainShard is one channel's speculative drain: the channel's
+// sub-queue (in global queue order), a clone of its timing domain, and
+// everything a serve would have written into shared state, captured
+// locally for a deterministic merge.
+type drainShard struct {
+	ch    int
+	queue []*Request
+	cs    chanState
+
+	st            stats.Stats
+	frontier      uint64
+	served        uint64
+	servedWaiters uint64
+	// releases defers pool releases (writeback AutoRelease, prefetch
+	// pair drops) to the install phase: the pool is not thread-safe
+	// and free-list mutation order must stay deterministic.
+	releases []*Request
+	ok       bool
+}
+
+// shardPeeker is a RowPeeker over a shard's cloned banks, so the
+// scheduler's invariance check sees the same row state the speculative
+// serves evolve. Request memos (hitVersion/wouldHit) stay coherent:
+// clones continue their source bank's version counter, and at clone
+// time both hold identical state.
+type shardPeeker struct {
+	c  *Controller
+	cs *chanState
+}
+
+func (p *shardPeeker) WouldRowHit(addr mem.PAddr) bool {
+	loc := p.c.cfg.Geometry.Decode(addr)
+	bank := p.cs.banks[loc.Bank]
+	return bank.WouldHit(loc.Row, loc.Segment(p.c.cfg.Geometry), bank.readyAt)
+}
+
+func (p *shardPeeker) WouldRowHitReq(r *Request) bool {
+	bank := p.cs.banks[r.loc.Bank]
+	if r.hitVersion != bank.version {
+		r.wouldHit = bank.WouldHit(r.loc.Row, r.seg, bank.readyAt)
+		r.hitVersion = bank.version
+	}
+	return r.wouldHit
+}
+
+// DrainParallel executes everything in the queue, like Drain, but
+// shards the work across per-channel workers when it can prove the
+// result is bit-identical to the serial drain. The proof obligation is
+// discharged per pick: the scheduler (via ShardablePicker) must show
+// each channel-local pick is invariant under every possible controller
+// clock, which makes the serial global serve order, restricted to one
+// channel, equal to the greedy per-channel order — channels share no
+// timing state (banks, bus, refresh, tFAW are all per-channel), so
+// each channel's issue/complete times, row outcomes and stats then
+// depend only on its own serve sequence.
+//
+// The execution is transactional: every channel drains speculatively
+// on a clone of its timing domain, and the clones are installed — in
+// channel order, with deferred pool releases and summed stats — only
+// if every channel finishes with every pick proven invariant. Any
+// failure discards all clones, resets the requests' result fields and
+// row-hit memos, and falls back to the serial Drain.
+//
+// Runs whose serve path has cross-channel side effects fall back
+// immediately: stateful sub-row allocation (FOA/POA), an active event
+// recorder (serve events must interleave in serial order), queued
+// leaf-PT reads with a TEMPO observer attached (the observer submits
+// new cross-channel requests), or queued prefetches with a completion
+// callback (the callback order feeds the LLC fill queue).
+func (c *Controller) DrainParallel(workers int) {
+	if workers <= 1 || len(c.queue) < drainParallelMin || len(c.chans) < 2 {
+		c.Drain()
+		return
+	}
+	sp, ok := c.sched.(ShardablePicker)
+	if !ok || c.SubAlloc != nil || c.Rec.Active() {
+		c.Drain()
+		return
+	}
+	for _, r := range c.queue {
+		if (r.IsLeafPT && c.Observer != nil) || (r.Prefetch && c.OnPrefetchDone != nil) {
+			c.Drain()
+			return
+		}
+	}
+
+	// Partition the queue by channel, preserving global queue order
+	// within each shard (the scheduler's index tie-breaks depend on it).
+	shards := make([]*drainShard, len(c.chans))
+	active := make([]*drainShard, 0, len(c.chans))
+	for _, r := range c.queue {
+		ch := r.loc.Channel
+		sh := shards[ch]
+		if sh == nil {
+			sh = &drainShard{ch: ch, cs: c.chans[ch].clone()}
+			shards[ch] = sh
+			active = append(active, sh)
+		}
+		sh.queue = append(sh.queue, r)
+	}
+	if len(active) < 2 {
+		c.Drain()
+		return
+	}
+	// The sub-row partition slices are built lazily on first use; force
+	// them into existence before workers read them concurrently.
+	c.buildSubRowPartitions()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, sh := range active {
+		wg.Add(1)
+		go func(sh *drainShard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			sh.ok = c.drainOneShard(sp, sh)
+			<-sem
+		}(sh)
+	}
+	wg.Wait()
+
+	for _, sh := range active {
+		if !sh.ok {
+			// A channel hit a clock-dependent pick: the speculative
+			// schedules are unusable as a whole (the remainder of a
+			// partially-committed drain would see a different frontier
+			// trajectory than pure serial). Discard every clone, scrub
+			// the result fields and version memos the speculative
+			// serves wrote into the requests, and drain serially.
+			for _, r := range c.queue {
+				r.Done, r.Issue, r.Complete = false, 0, 0
+				r.Outcome = 0
+				r.hitVersion, r.wouldHit = 0, false
+			}
+			c.Drain()
+			return
+		}
+	}
+
+	// Install: clones become the live channel state, shard stats and
+	// counters merge (sums — commutative, applied in channel order for
+	// definiteness), and deferred pool releases run in channel order so
+	// the free list stays deterministic.
+	for _, sh := range active {
+		c.chans[sh.ch] = sh.cs
+		c.st.Add(&sh.st)
+		c.served += sh.served
+		c.servedWaiters += sh.servedWaiters
+		if sh.frontier > c.frontier {
+			c.frontier = sh.frontier
+		}
+		for _, r := range sh.releases {
+			c.pool.Release(r)
+		}
+	}
+	c.queue = c.queue[:0]
+	c.drainsSharded++
+}
+
+// ShardedDrains reports how many DrainParallel calls actually
+// committed a sharded drain rather than falling back to Drain.
+func (c *Controller) ShardedDrains() uint64 { return c.drainsSharded }
+
+// drainOneShard serves a channel's whole sub-queue on its cloned
+// timing domain, proving every pick clock-invariant as it goes. It
+// mirrors executeOne exactly minus the paths the DrainParallel gates
+// excluded: no recorder events, no observer/prefetch callbacks, no
+// sub-row allocator, and Scheduler.OnServed elided (ShardablePicker
+// implementations keep no serve history). Returns false the moment a
+// pick cannot be proven invariant; the caller then discards the shard.
+func (c *Controller) drainOneShard(sp ShardablePicker, sh *drainShard) bool {
+	peek := &shardPeeker{c: c, cs: &sh.cs}
+	q := sh.queue
+	for len(q) > 0 {
+		idx, ok := sp.PickInvariant(q, peek)
+		if !ok {
+			return false
+		}
+		r := q[idx]
+		q = append(q[:idx], q[idx+1:]...)
+		_, issue, complete := c.serveOn(&sh.cs, sh.ch, r, &sh.st)
+		if issue > sh.frontier {
+			sh.frontier = issue
+		}
+		sh.served++
+		if r.waiter {
+			sh.servedWaiters++
+		}
+		if r.IsLeafPT {
+			sh.st.DRAMPTWLeaf++
+			bank := sh.cs.banks[r.loc.Bank]
+			bank.Pin(r.loc.Row, r.seg, complete, complete+c.cfg.PTRowWait)
+		}
+		if r.Prefetch {
+			bank := sh.cs.banks[r.loc.Bank]
+			bank.Pin(r.loc.Row, r.seg, complete, complete+c.cfg.PTRowWait+180)
+			if r.PairedWith != nil {
+				sh.releases = append(sh.releases, r.PairedWith)
+			}
+		}
+		if r.AutoRelease {
+			sh.releases = append(sh.releases, r)
+		}
+	}
+	return true
+}

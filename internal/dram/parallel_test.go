@@ -1,0 +1,130 @@
+package dram_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// fillDrainQueue submits n randomized requests to the controller and
+// returns them for post-drain inspection. The stream mixes categories,
+// waiter marks and leaf-PT tags, and spreads addresses across every
+// channel and bank of the default geometry.
+func fillDrainQueue(c *dram.Controller, rng *rand.Rand, n int, base uint64) []*dram.Request {
+	reqs := make([]*dram.Request, 0, n)
+	enq := base
+	for i := 0; i < n; i++ {
+		r := &dram.Request{
+			Addr:    mem.PAddr(rng.Uint64() % (1 << 28)).Line(),
+			Enqueue: enq,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			r.Category = stats.DRAMPTW
+			r.IsLeafPT = true
+		case 1:
+			r.Category = stats.DRAMReplay
+		default:
+			r.Category = stats.DRAMOther
+		}
+		if rng.Intn(3) == 0 {
+			r.MarkWaiter()
+		}
+		enq += uint64(rng.Intn(40))
+		c.Submit(r)
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// TestDrainParallelMatchesSerial is the sharded drain's differential
+// test: identically-built controllers fed identical randomized
+// multi-channel queues must produce byte-identical request timings,
+// outcomes and stats whether drained serially or sharded across
+// workers — over several rounds, so bank state carried between drains
+// is covered too. It also asserts the sharded path really executed;
+// a silent fallback would make the comparison vacuous.
+func TestDrainParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() dram.Scheduler
+	}{
+		{"frfcfs", func() dram.Scheduler { return sched.NewFRFCFS() }},
+		{"tempo-frfcfs", func() dram.Scheduler { return sched.NewTempoFRFCFS() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stA, stB stats.Stats
+			ca := dram.NewController(dram.DefaultConfig(), tc.mk(), &stA)
+			cb := dram.NewController(dram.DefaultConfig(), tc.mk(), &stB)
+			for round := 0; round < 5; round++ {
+				rngA := rand.New(rand.NewSource(int64(100 + round)))
+				rngB := rand.New(rand.NewSource(int64(100 + round)))
+				base := uint64(round) * 50_000
+				qa := fillDrainQueue(ca, rngA, 300, base)
+				qb := fillDrainQueue(cb, rngB, 300, base)
+				ca.Drain()
+				cb.DrainParallel(4)
+				for i := range qa {
+					a, b := qa[i], qb[i]
+					if !a.Done || !b.Done {
+						t.Fatalf("round %d req %d not served (serial %v parallel %v)",
+							round, i, a.Done, b.Done)
+					}
+					if a.Issue != b.Issue || a.Complete != b.Complete || a.Outcome != b.Outcome {
+						t.Fatalf("round %d req %d diverged: serial issue=%d complete=%d outcome=%v, "+
+							"parallel issue=%d complete=%d outcome=%v",
+							round, i, a.Issue, a.Complete, a.Outcome, b.Issue, b.Complete, b.Outcome)
+					}
+				}
+			}
+			if stA != stB {
+				t.Errorf("stats diverged:\nserial   %+v\nparallel %+v", stA, stB)
+			}
+			if cb.ShardedDrains() == 0 {
+				t.Error("no drain took the sharded path; the differential test covered nothing")
+			}
+		})
+	}
+}
+
+// TestDrainParallelFallbacks pins the bail-out conditions: a stateful
+// scheduler (BLISS keeps per-core serve history), a queue shorter than
+// the sharding threshold, and a single worker must all drain serially
+// — same results, sharded-drain counter untouched.
+func TestDrainParallelFallbacks(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() dram.Scheduler
+		n    int
+		w    int
+	}{
+		{"bliss-scheduler", func() dram.Scheduler { return sched.NewBLISS() }, 300, 4},
+		{"short-queue", func() dram.Scheduler { return sched.NewFRFCFS() }, 40, 4},
+		{"one-worker", func() dram.Scheduler { return sched.NewFRFCFS() }, 300, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stA, stB stats.Stats
+			ca := dram.NewController(dram.DefaultConfig(), tc.mk(), &stA)
+			cb := dram.NewController(dram.DefaultConfig(), tc.mk(), &stB)
+			qa := fillDrainQueue(ca, rand.New(rand.NewSource(7)), tc.n, 0)
+			qb := fillDrainQueue(cb, rand.New(rand.NewSource(7)), tc.n, 0)
+			ca.Drain()
+			cb.DrainParallel(tc.w)
+			for i := range qa {
+				if qa[i].Issue != qb[i].Issue || qa[i].Complete != qb[i].Complete {
+					t.Fatalf("req %d diverged", i)
+				}
+			}
+			if stA != stB {
+				t.Errorf("stats diverged")
+			}
+			if cb.ShardedDrains() != 0 {
+				t.Errorf("expected serial fallback, got %d sharded drains", cb.ShardedDrains())
+			}
+		})
+	}
+}

@@ -111,6 +111,22 @@ type Scheduler interface {
 	OnServed(r *Request, now uint64)
 }
 
+// ShardablePicker is an optional Scheduler extension for stateless
+// schedulers whose pick can sometimes be proven independent of the
+// controller clock. PickInvariant returns the index Pick(q, now, rows)
+// would return for EVERY possible now, and whether such a clock-
+// invariant answer exists for the current queue and row state. When it
+// exists for every pick of a drain, the serial global serve order
+// restricted to one channel equals a greedy per-channel drain — the
+// soundness condition for DrainParallel's sharded execution. A
+// scheduler that cannot prove invariance (or is stateful across picks,
+// like BLISS) simply doesn't implement the interface and drains
+// serially.
+type ShardablePicker interface {
+	Scheduler
+	PickInvariant(q []*Request, rows RowPeeker) (int, bool)
+}
+
 // FCFS is the trivial in-order scheduler, useful as a baseline and in
 // tests.
 type FCFS struct{}

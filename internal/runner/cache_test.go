@@ -46,6 +46,30 @@ func TestConfigKeyStableAndSensitive(t *testing.T) {
 	}
 }
 
+// TestConfigKeyIgnoresWorkers pins the cache-identity contract behind
+// intra-run parallelism: Workers tunes how a result is computed, never
+// what it is (TestWorkersBitIdentical in internal/sim), so two configs
+// differing only in Workers must share a cache entry. The field is
+// excluded from the JSON the hash covers; this test keeps it that way.
+func TestConfigKeyIgnoresWorkers(t *testing.T) {
+	cfg := sim.DefaultConfig("xsbench")
+	a, err := ConfigKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, 64} {
+		cfg.Workers = w
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != a {
+			t.Errorf("Workers=%d changed the config hash: cached results "+
+				"would no longer be shared across worker counts", w)
+		}
+	}
+}
+
 func TestDiskCacheRoundTrip(t *testing.T) {
 	dc, err := NewDiskCache(t.TempDir())
 	if err != nil {

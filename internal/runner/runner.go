@@ -65,6 +65,12 @@ type Options struct {
 	// Exec executes one configuration (default sim.Run). Tests
 	// substitute failing/slow/panicking executors.
 	Exec func(sim.Config) (*sim.Result, error)
+	// SimWorkers, when non-zero, sets every job's intra-run worker
+	// count (sim.Config.Workers) before execution. Workers is excluded
+	// from the config's cache hash — results are bit-identical at
+	// every worker count — so the override changes execution speed,
+	// never results or cache identity.
+	SimWorkers int
 }
 
 // Pool executes job batches. It is safe for concurrent use; counters
@@ -95,6 +101,13 @@ func New(opts Options) *Pool {
 	}
 	if opts.Exec == nil {
 		opts.Exec = sim.Run
+	}
+	if opts.SimWorkers != 0 {
+		exec := opts.Exec
+		opts.Exec = func(cfg sim.Config) (*sim.Result, error) {
+			cfg.Workers = opts.SimWorkers
+			return exec(cfg)
+		}
 	}
 	return &Pool{opts: opts}
 }

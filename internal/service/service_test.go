@@ -493,3 +493,40 @@ func TestSubmitAfterClose(t *testing.T) {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
 }
+
+// TestSubmitDedupsAcrossWorkerCounts pins the service-level face of
+// the Workers cache-identity contract: submissions differing only in
+// the intra-run worker count are the same experiment (results are
+// bit-identical by construction) and must deduplicate onto one job
+// rather than simulate twice.
+func TestSubmitDedupsAcrossWorkerCounts(t *testing.T) {
+	var execs atomic.Int64
+	pool := runner.New(runner.Options{Parallelism: 1, Exec: func(cfg sim.Config) (*sim.Result, error) {
+		execs.Add(1)
+		return stubResult(cfg), nil
+	}})
+	co, err := New(Options{Pool: pool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	cfg := cfgSeed(3)
+	cfg.Workers = 1
+	s1, err := co.Submit(cfg, "alice", 0)
+	if err != nil || !s1.Created {
+		t.Fatalf("first submit: %+v, %v", s1, err)
+	}
+	waitDone(t, co, s1.Job.ID)
+	cfg.Workers = 8
+	s2, err := co.Submit(cfg, "bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Created || !s2.CacheHit || s2.Job.ID != s1.Job.ID {
+		t.Fatalf("Workers=8 submission did not dedup onto the Workers=1 job: %+v", s2)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executed %d simulations, want 1", n)
+	}
+}

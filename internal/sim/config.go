@@ -179,6 +179,17 @@ type Config struct {
 
 	// Seed namespaces all derived seeds (OS, workloads).
 	Seed int64
+
+	// Workers bounds the worker goroutines the run may use for
+	// intra-run parallelism: epoch-barrier core execution and the
+	// sharded end-of-run DRAM drain. 0 or 1 selects the exact serial
+	// coordinator. Results are bit-identical at every worker count —
+	// the parallel paths only run where the serial schedule provably
+	// cannot observe the difference — so the field is excluded from
+	// the JSON serialization the runner's content-addressed result
+	// cache hashes: the same configuration hits the same cache entry
+	// whatever the worker count.
+	Workers int `json:"-"`
 }
 
 // DefaultConfig builds a single-core run of the named workload with

@@ -82,6 +82,27 @@ type Core struct {
 	records int
 	ran     int // records executed so far
 
+	// peeked/peekRec are a one-record lookahead buffer feeding
+	// privateReady: the epoch coordinator must classify the next record
+	// (private to this core's TLB+L1+L2, or touching shared state)
+	// before deciding whether the core may run outside the serial
+	// interleaving, and streams are consume-only. nextRecord drains the
+	// buffer first, so peeking never perturbs the record sequence.
+	peeked  bool
+	peekRec trace.Record
+
+	// epochYield, set by the coordinator when an epoch pool is active,
+	// asks step to take one extra yield at the start of every private
+	// run that follows a shared record. The yield happens at a record
+	// boundary with c.now still at or below the batch limit, so
+	// re-running the pick loop would choose this core again and the
+	// yield is result-invariant — its only effect is parking the core
+	// at a probe point where the epoch coordinator can see it. Without
+	// it, batches blow through private-run starts mid-batch and two
+	// cores essentially never sit at private record boundaries at the
+	// same loop top.
+	epochYield bool
+
 	// obs is the attached event recorder (nil when tracing is off);
 	// obsStart is the cycle the in-flight record began, anchoring its
 	// whole-record span.
@@ -413,6 +434,16 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 				c.sys.ctrl.ServedWaiters() != waiters {
 				return coreStep, nil, executed
 			}
+			// Epoch seeding: a shared record just finished and the next
+			// one is provably private — yield so the coordinator's epoch
+			// probe can pair this private run with another core's. The
+			// guard restricts the (two-directory-probe) peek to records
+			// that actually left the private domain, keeping pure private
+			// sprints batched.
+			if c.epochYield && (c.walked || c.servedDRAM ||
+				c.ar.Served == cache.ServedLLC) && c.privateReady() {
+				return coreStep, nil, executed
+			}
 		}
 	}
 }
@@ -448,6 +479,10 @@ func (c *Core) dispatchAccess(m *Machine) *dram.Request {
 
 // nextRecord pulls the next record, maintaining the IMP lookahead ring.
 func (c *Core) nextRecord() (trace.Record, bool) {
+	if c.peeked {
+		c.peeked = false
+		return c.peekRec, true
+	}
 	if c.imp == nil {
 		return c.stream.Next()
 	}
@@ -466,6 +501,110 @@ func (c *Core) nextRecord() (trace.Record, bool) {
 	c.laHead = (c.laHead + 1) % len(c.lookahead)
 	c.laLen--
 	return rec, true
+}
+
+// peekRecord exposes the next record without consuming it. Only valid
+// with no IMP attached (the epoch gates guarantee it): the lookahead
+// ring has its own buffering and must see records in stream order.
+func (c *Core) peekRecord() (trace.Record, bool) {
+	if !c.peeked {
+		rec, ok := c.stream.Next()
+		if !ok {
+			return trace.Record{}, false
+		}
+		c.peekRec, c.peeked = rec, true
+	}
+	return c.peekRec, true
+}
+
+// privateReady reports whether the core's next record is private: it
+// can be proven — from this core's state alone, before executing
+// anything — to read and write nothing but the core's own TLB, L1 and
+// L2. Private records commute with every other core's records (private
+// or not: non-private records touch shared state plus the *other*
+// core's private state, all disjoint from this core's), so the epoch
+// coordinator may run them outside the serial interleaving with a
+// bit-identical outcome. The proof chain: a TLB peek hit means Lookup
+// will hit (no walk, no residency fault — demand paging cannot have
+// skipped a mapped-and-cached page and nothing unmaps pages mid-run),
+// the hit yields the exact translation Lookup will return, and
+// PrivateAccess then certifies the cache probe, including its fill
+// cascade, stops above the shared LLC. Callers must additionally hold
+// the epoch-level gates (no prefetcher, no observer, empty fill queue,
+// uncongested controller queue) that the serial fast path's other
+// side-entrances depend on.
+func (c *Core) privateReady() bool {
+	if c.phase != phRecord || c.ran >= c.records {
+		return false
+	}
+	rec, ok := c.peekRecord()
+	if !ok {
+		return false
+	}
+	tr, lvl := c.tlb.Peek(rec.VAddr)
+	if lvl == tlb.Miss {
+		return false
+	}
+	return c.hier.PrivateAccess(tr.Translate(rec.VAddr))
+}
+
+// runPrivate executes the core's maximal prefix of consecutive private
+// records and returns how many it ran. It is the epoch worker body:
+// the coordinator calls it concurrently on distinct cores, each of
+// which touches only its own state (see privateReady). Every commit
+// replicates the serial fast path in step byte for byte; the paths the
+// fast path takes through shared state are provably no-ops under the
+// epoch gates and are asserted, not skipped silently.
+func (c *Core) runPrivate() (executed uint64) {
+	m := &c.sys.machine
+	for c.privateReady() {
+		rec, _ := c.nextRecord() // the peeked record; cannot fail
+		c.ran++
+		c.rec = rec
+		c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+		c.st.Instructions += uint64(rec.Gap) + 1
+		c.st.MemRefs++
+
+		tr, lvl := c.tlb.Lookup(rec.VAddr)
+		if lvl == tlb.Miss {
+			panic("private record missed the TLB after a peek hit")
+		}
+		c.st.TLBHits++
+		if lvl == tlb.HitL2 {
+			c.now += m.L2TLBPenalty
+		}
+		c.tr = tr
+		c.walked, c.leafDRAM = false, false
+		c.p = tr.Translate(rec.VAddr)
+		c.write = rec.Kind == trace.Store
+		// The serial path calls mem.ApplyFills here; the epoch gate
+		// holds the fill queue empty and nothing refills it while no
+		// core touches the controller, so it is a pure no-op.
+		c.ar = c.hier.Access(c.p, c.write)
+		switch c.ar.Served {
+		case cache.ServedL1:
+			// Serial fast path: clock bump only. The writeback-queue
+			// pressure guard cannot fire — the epoch gate checked the
+			// queue at or below the threshold and no core submits
+			// during an epoch.
+			c.now += c.ar.Latency
+		case cache.ServedL2:
+			// dispatchAccess's on-chip branch followed by phTail, which
+			// under PrivateAccess has nothing to do: no writebacks (the
+			// cascade stopped above the LLC), no LLC-provenance or
+			// replay bookkeeping (not an LLC hit, not a walk).
+			c.now += c.ar.Latency
+			c.servedDRAM = false
+			c.outcome = stats.RowHit
+			if len(c.ar.Writebacks) != 0 {
+				panic("private record produced writebacks")
+			}
+		default:
+			panic("private record escaped the core's private caches")
+		}
+		executed++
+	}
+	return executed
 }
 
 // submitWritebacks turns dirty LLC victims into fire-and-forget DRAM

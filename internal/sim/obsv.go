@@ -56,6 +56,30 @@ func (s *System) Attach(o *obsv.Observer) {
 			}
 			return t
 		})
+		// Intra-run parallelism counters. An attached observer
+		// serializes execution (every epoch attempt gates off on
+		// s.obs != nil), so these gauges read zero on observed runs —
+		// they are registered anyway so dashboards see a stable schema,
+		// and they document that property rather than hide it.
+		o.Reg.Gauge("sim/epochs", func() uint64 {
+			return s.ParallelStats().Epochs
+		})
+		o.Reg.Gauge("sim/barrier_stalls", func() uint64 {
+			return s.ParallelStats().BarrierStalls
+		})
+		o.Reg.Gauge("sim/epoch_records", func() uint64 {
+			return s.ParallelStats().EpochRecords
+		})
+		for w := 0; w < s.cfg.Workers; w++ {
+			w := w
+			o.Reg.Gauge(fmt.Sprintf("sim/worker%d_records", w), func() uint64 {
+				ps := s.ParallelStats()
+				if w < len(ps.WorkerRecords) {
+					return ps.WorkerRecords[w]
+				}
+				return 0
+			})
+		}
 	}
 }
 

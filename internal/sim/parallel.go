@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// epochQueueMax is the controller queue depth above which epochs
+// are off: the serial fast path's writeback-pressure guard would
+// fire (QueueLen > 128 → DrainUpTo), and a drain is shared-state
+// work an epoch must not do. At or below it, no core submits during
+// an epoch, so the guard provably stays dormant.
+const epochQueueMax = 128
+
+// epochTask asks a pool worker to run one core's maximal private
+// prefix and store the executed-record count in out.
+type epochTask struct {
+	c   *Core
+	out *uint64
+}
+
+// epochPool is the run's persistent worker pool plus the epoch
+// coordinator's state. Workers are plain goroutines parked on a
+// buffered channel: dispatching an epoch is a handful of channel sends
+// and one WaitGroup barrier — no per-epoch allocations, keeping the
+// hot path's zero-allocs-per-record property at every worker count.
+type epochPool struct {
+	workers int
+	tasks   chan epochTask
+	wg      sync.WaitGroup
+
+	// parts/outs are per-epoch scratch (participant core ids and their
+	// executed-record counts), sized once to the core count.
+	parts []int
+	outs  []uint64
+
+	// perWorker[w] counts records executed by worker goroutine w —
+	// the utilization split the obsv gauges expose.
+	perWorker []uint64
+
+	epochs       uint64
+	stalls       uint64
+	epochRecords uint64
+}
+
+func newEpochPool(workers, cores int) *epochPool {
+	if workers > cores {
+		workers = cores
+	}
+	p := &epochPool{
+		workers:   workers,
+		tasks:     make(chan epochTask, cores),
+		parts:     make([]int, 0, cores),
+		outs:      make([]uint64, cores),
+		perWorker: make([]uint64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *epochPool) close() { close(p.tasks) }
+
+func (p *epochPool) worker(w int) {
+	for t := range p.tasks {
+		p.runTask(w, t)
+	}
+}
+
+func (p *epochPool) runTask(w int, t epochTask) {
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.c.err = fmt.Errorf("core %d (epoch): %v", t.c.id, r)
+		}
+	}()
+	n := t.c.runPrivate()
+	*t.out = n
+	p.perWorker[w] += n
+}
+
+// tryEpoch attempts one parallel epoch: if at least two ready cores
+// sit at a record boundary with a provably private next record (see
+// Core.privateReady), they advance through their private prefixes
+// concurrently — between barriers, on the worker pool — and the
+// coordinator resumes serial min-clock picking with their clocks
+// updated. Returns the records executed (0 means the caller should
+// fall through to the serial pick; progress is then guaranteed by the
+// serial path, so the loop cannot spin).
+//
+// Soundness: private records touch only their own core's TLB/L1/L2 and
+// clock, so they commute with every record of every other core; any
+// interleaving — including the concurrent one — reaches the same state
+// the serial coordinator would. The epoch-level gates keep the
+// commit's residual shared-state touchpoints provable no-ops: no
+// observer (no event order to preserve, no interval-flush record
+// counts to hit), fill queue empty (ApplyFills is a no-op), controller
+// queue uncongested (the writeback guard cannot fire). The run-ahead
+// limit is irrelevant here — it exists to order shared-state
+// interactions, and private records have none.
+func (s *System) tryEpoch(status []int, clock []uint64) (uint64, error) {
+	p := s.par
+	p.parts = p.parts[:0]
+	if s.obs == nil && s.ctrl.QueueLen() <= epochQueueMax && len(s.mem.pending) == 0 {
+		for i, c := range s.cores {
+			if status[i] == stReady && c.privateReady() {
+				p.parts = append(p.parts, i)
+			}
+		}
+	}
+	if len(p.parts) < 2 {
+		// A near-miss — exactly one core sat at a private record
+		// boundary with no partner — is a barrier stall; zero
+		// candidates is just an ordinary serial iteration.
+		if len(p.parts) == 1 {
+			p.stalls++
+		}
+		return 0, nil
+	}
+
+	p.wg.Add(len(p.parts))
+	for k, i := range p.parts {
+		p.outs[k] = 0
+		p.tasks <- epochTask{c: s.cores[i], out: &p.outs[k]}
+	}
+	p.wg.Wait()
+
+	p.epochs++
+	var total uint64
+	for k, i := range p.parts {
+		c := s.cores[i]
+		if c.err != nil {
+			return 0, c.err
+		}
+		clock[i] = c.now
+		total += p.outs[k]
+	}
+	p.epochRecords += total
+	return total, nil
+}
+
+// ParallelStats reports what the intra-run parallel machinery did.
+// Zero values throughout mean the run was serial (Workers <= 1, a
+// single core, or an attached observer).
+type ParallelStats struct {
+	// Workers is the pool size (0 when no pool was created).
+	Workers int
+	// Epochs counts successful parallel epochs (barriers).
+	Epochs uint64
+	// BarrierStalls counts epoch near-misses: probes that found
+	// exactly one private-ready core — a private run with no partner
+	// to pair it with — and fell through to the serial pick.
+	BarrierStalls uint64
+	// EpochRecords is the total records executed inside epochs.
+	EpochRecords uint64
+	// WorkerRecords[w] is the records executed by pool worker w.
+	WorkerRecords []uint64
+}
+
+// ParallelStats returns the run's parallelism counters. Call it after
+// Run returns; it is not synchronized with a run in progress.
+func (s *System) ParallelStats() ParallelStats {
+	if s.par == nil {
+		return ParallelStats{}
+	}
+	p := s.par
+	return ParallelStats{
+		Workers:       p.workers,
+		Epochs:        p.epochs,
+		BarrierStalls: p.stalls,
+		EpochRecords:  p.epochRecords,
+		WorkerRecords: append([]uint64(nil), p.perWorker...),
+	}
+}

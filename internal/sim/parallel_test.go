@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestWorkersBitIdentical is the differential test for intra-run
+// parallelism: randomized multi-core configurations must produce
+// byte-identical results at Workers = 1, 2 and 4. Workers is excluded
+// from the result-cache hash on exactly this guarantee, and the golden
+// fixtures pin only the serial path — this test is what extends their
+// authority to every worker count.
+func TestWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		cfg := randomConfig(rng)
+		for len(cfg.Workloads) < 2 {
+			spec := cfg.Workloads[0]
+			spec.Seed = int64(len(cfg.Workloads) + 1)
+			cfg.Workloads = append(cfg.Workloads, spec)
+		}
+		cfg.Workers = 1
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d serial: %v", i, err)
+		}
+		for _, w := range []int{2, 4} {
+			cfg.Workers = w
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("config %d workers=%d: %v", i, w, err)
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("config %d (%+v): workers=%d diverged from serial "+
+					"(cycles %d vs %d, DRAM refs %d vs %d)",
+					i, cfg.Workloads, w,
+					res.Total.Cycles, ref.Total.Cycles,
+					res.Total.DRAMRefs, ref.Total.DRAMRefs)
+			}
+		}
+	}
+}
+
+// localCfg builds a run that keeps several cores simultaneously awake
+// in interleaved private runs: blackscholes.small alternates L1/L2
+// streaks with DRAM misses, and the misses keep the cores' clocks
+// close enough that one core's private sprint gets limit-cut against
+// another's — the only coordinator state in which two cores sit at
+// private record boundaries at the same probe, which is what an epoch
+// needs. (Workloads that never miss degenerate to serial whole-trace
+// sprints; workloads that always miss have no private runs to pair.)
+func localCfg(cores int) Config {
+	cfg := DefaultConfig("blackscholes.small")
+	cfg.Records = 100_000
+	cfg.Seed = 7
+	cfg.OS.Mode = vm.ModeTHP
+	cfg.Workloads = nil
+	for i := 0; i < cores; i++ {
+		cfg.Workloads = append(cfg.Workloads, WorkloadSpec{
+			Name: "blackscholes.small", Footprint: 4 << 20, Seed: int64(i + 1),
+		})
+	}
+	return cfg
+}
+
+// TestEpochsEngage checks the parallel coordinator is not just
+// trivially bailing out to the serial path: on a cache-resident
+// multi-core run with workers it must execute real epochs, account
+// every epoch record to a worker, and still match the serial result
+// exactly.
+func TestEpochsEngage(t *testing.T) {
+	cfg := localCfg(4)
+	cfg.Workers = 1
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+
+	cfg.Workers = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Errorf("workers=4 diverged from serial (cycles %d vs %d)",
+			res.Total.Cycles, ref.Total.Cycles)
+	}
+
+	ps := s.ParallelStats()
+	if ps.Workers != 4 {
+		t.Fatalf("pool size = %d, want 4", ps.Workers)
+	}
+	if ps.Epochs == 0 {
+		t.Error("no epochs on a cache-resident multi-core run")
+	}
+	if ps.EpochRecords == 0 {
+		t.Error("epochs ran but executed no records")
+	}
+	var perWorker uint64
+	for _, n := range ps.WorkerRecords {
+		perWorker += n
+	}
+	if perWorker != ps.EpochRecords {
+		t.Errorf("worker records %d != epoch records %d", perWorker, ps.EpochRecords)
+	}
+	t.Logf("epochs=%d stalls=%d epoch_records=%d worker split=%v",
+		ps.Epochs, ps.BarrierStalls, ps.EpochRecords, ps.WorkerRecords)
+}
+
+// TestSerialRunHasNoPool pins the Workers<=1 contract: the exact
+// serial coordinator, no pool, all parallelism counters zero.
+func TestSerialRunHasNoPool(t *testing.T) {
+	cfg := localCfg(2)
+	cfg.Records = 2_000
+	for _, w := range []int{0, 1} {
+		cfg.Workers = w
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if ps := s.ParallelStats(); !reflect.DeepEqual(ps, ParallelStats{}) {
+			t.Errorf("workers=%d: parallel machinery engaged: %+v", w, ps)
+		}
+	}
+}

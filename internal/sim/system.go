@@ -95,6 +95,9 @@ type System struct {
 	engine  *core.Engine
 	// obs is the instrumentation layer Attach wires in (nil = disabled).
 	obs *obsv.Observer
+	// par is the epoch worker pool (nil when the run is serial:
+	// Workers <= 1, a single core, or IMP's cross-record lookahead).
+	par *epochPool
 }
 
 // New assembles a system from a configuration.
@@ -259,15 +262,37 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
+// Core scheduling states of the coordinator loop (also read by the
+// epoch coordinator in parallel.go).
+const (
+	stReady = iota
+	stParked
+	stDone
+)
+
 // Run executes the configured number of records on every core and
 // returns the collected results. It may be called once per System.
 func (s *System) Run() (*Result, error) {
 	n := len(s.cores)
-	const (
-		stReady = iota
-		stParked
-		stDone
-	)
+	// Intra-run parallelism: an epoch worker pool when the config asks
+	// for workers and the run shape permits it. IMP rules epochs out
+	// entirely — its lookahead ring and background walks couple records
+	// across the shared memory system — so skip even the pool. Runs
+	// with an attached observer keep the pool (its gauges stay
+	// readable) but every epoch attempt gates off, so they execute
+	// serially and all parallelism counters read zero.
+	if s.cfg.Workers > 1 && n > 1 && !s.cfg.IMP {
+		s.par = newEpochPool(s.cfg.Workers, n)
+		defer s.par.close()
+		if s.obs == nil {
+			// Ask the cores for the extra (result-invariant) yield at
+			// private-run starts that gives the epoch probe something
+			// to find; see Core.epochYield.
+			for _, c := range s.cores {
+				c.epochYield = true
+			}
+		}
+	}
 	status := make([]int, n)
 	waitReq := make([]*dram.Request, n)
 	// clock is the coordinator's view of each core's time, used only
@@ -288,6 +313,20 @@ func (s *System) Run() (*Result, error) {
 				status[i] = stReady
 				clock[i] = waitReq[i].Complete
 				waitReq[i] = nil
+			}
+		}
+		// Parallel epoch: when several ready cores face provably
+		// private records, run those prefixes concurrently and come
+		// back for the serial pick afterwards (0 executed falls
+		// through, so the serial path guarantees progress).
+		if s.par != nil {
+			ep, err := s.tryEpoch(status, clock)
+			if err != nil {
+				return nil, err
+			}
+			if ep > 0 {
+				recordsDone += ep
+				continue
 			}
 		}
 		// Resume the ready core with the smallest clock. step runs the
@@ -368,7 +407,11 @@ func (s *System) Run() (*Result, error) {
 		}
 		s.ctrl.ServeOne()
 	}
-	s.ctrl.Drain()
+	// The end-of-run queue is the deepest of the run (the batching
+	// coordinator lets writebacks accumulate); drain it sharded by
+	// channel when the workers and the queue's contents allow a
+	// provably serial-identical schedule.
+	s.ctrl.DrainParallel(s.cfg.Workers)
 	// Late prefetch fills may evict dirty victims, which become write
 	// transactions needing one more drain round.
 	s.mem.ApplyFills(^uint64(0))
