@@ -17,6 +17,7 @@
 //	tempo-bench                       # every figure, full scale
 //	tempo-bench -scale quick          # fast pass
 //	tempo-bench -figure fig10,fig13   # a subset
+//	tempo-bench -figure mech01 -mech tempo,victima  # restrict the mechanism zoo
 //	tempo-bench -parallel 8           # worker count (default GOMAXPROCS)
 //	tempo-bench -cache-dir .tempo     # persist results; re-runs skip sims
 //	tempo-bench -timeout 30m          # abandon any single sim after 30m
@@ -28,8 +29,11 @@
 //
 // -extras adds the ablation studies (abl01..abl04) to the figure set,
 // -claims evaluates the paper's qualitative claims after the figures,
-// and -compare writes a paper-vs-measured markdown table. -cpuprofile
-// and -memprofile profile the sweep process itself.
+// and -compare writes a paper-vs-measured markdown table. -mech
+// restricts the mech01 mechanism-zoo figure to a comma-separated
+// subset of the registered translation mechanisms (MECHANISMS.md);
+// unset runs all of them. -cpuprofile and -memprofile profile the
+// sweep process itself.
 //
 // With -stats-interval N every *executed* simulation streams an
 // interval-stats JSONL time series (OBSERVABILITY.md) into
@@ -62,6 +66,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"time"
 
@@ -71,6 +76,7 @@ import (
 	"repro/internal/obsv/serve"
 	"repro/internal/runner"
 	"repro/internal/service/client"
+	"repro/internal/translation"
 )
 
 func main() {
@@ -83,6 +89,7 @@ func main() {
 		claims    = flag.Bool("claims", false, "after the figures, evaluate the paper's qualitative claims")
 		extras    = flag.Bool("extras", false, "also run the ablation studies (abl01..abl04)")
 		compare   = flag.String("compare", "", "write a paper-vs-measured markdown table to this file")
+		mechList  = flag.String("mech", "", "comma-separated translation mechanisms for the mech01 zoo (default: all registered)")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker count")
 		workers   = flag.Int("workers", 1, "intra-run worker threads per simulation (results are identical at any count)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result cache directory (empty: in-memory only)")
@@ -233,6 +240,16 @@ func main() {
 		engine = &client.Client{Base: strings.TrimRight(*submitURL, "/"), Tenant: *tenant}
 	}
 	benchRunner := tempo.NewParallelRunner(scale, engine)
+	if *mechList != "" {
+		registered := translation.Names()
+		for _, m := range strings.Split(*mechList, ",") {
+			m = strings.TrimSpace(m)
+			if !slices.Contains(registered, m) {
+				fatal("unknown mechanism %q (registered: %s)", m, strings.Join(registered, ", "))
+			}
+			benchRunner.Mechs = append(benchRunner.Mechs, m)
+		}
+	}
 	if *verbose {
 		benchRunner.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)

@@ -17,7 +17,12 @@
 // and -memhog (fraction of memory pre-filled to fragment superpages).
 // Mechanisms: -tempo enables the paper's prefetcher with -tempo-llc
 // (LLC fill on/off) and -pt-wait (PT-row wait cycles); -imp enables
-// the indirect prefetcher.
+// the indirect prefetcher. -mech selects the translation mechanism
+// (MECHANISMS.md): "tempo" (the default — the paper's translation
+// path, bit-identical with not saying -mech at all) or a rival from
+// the zoo ("victima", "revelator"). Rivals replace TEMPO rather than
+// stack on it, so they reject -tempo; their per-mechanism counters
+// are printed after the run.
 //
 // Execution: -workers sets the intra-run worker-thread count (default
 // the machine's CPU count). Parallel execution is bit-identical to the
@@ -46,11 +51,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
+	"sort"
 	"strings"
 
 	tempo "repro"
 	"repro/internal/obsv/serve"
 	"repro/internal/stats"
+	"repro/internal/translation"
 	"repro/internal/vm"
 )
 
@@ -67,6 +75,7 @@ type options struct {
 	llcPf     bool
 	ptWait    uint64
 	impOn     bool
+	mech      string
 	scheduler string
 	rowPolicy string
 	pageMode  string
@@ -96,6 +105,20 @@ func buildConfig(o options) (tempo.Config, error) {
 		cfg.Tempo.PTRowWait = o.ptWait
 	}
 	cfg.IMP = o.impOn
+	switch o.mech {
+	case "", "tempo":
+		// The default path: leave Config.Mech empty so the run is
+		// byte-identical (config hash included) with builds that predate
+		// the mechanism seam. -tempo alone decides whether the tempo
+		// mechanism actually prefetches.
+		cfg.Mech = ""
+	default:
+		if !slices.Contains(translation.Names(), o.mech) {
+			return cfg, fmt.Errorf("unknown mechanism %q (registered: %s)",
+				o.mech, strings.Join(translation.Names(), ", "))
+		}
+		cfg.Mech = o.mech
+	}
 	switch o.scheduler {
 	case "frfcfs":
 		cfg.Scheduler = tempo.SchedFRFCFS
@@ -149,6 +172,7 @@ func main() {
 	flag.BoolVar(&o.llcPf, "tempo-llc", true, "TEMPO prefetches into the LLC (false = row buffer only)")
 	flag.Uint64Var(&o.ptWait, "pt-wait", 10, "TEMPO PT-row wait cycles")
 	flag.BoolVar(&o.impOn, "imp", false, "enable the IMP indirect prefetcher")
+	flag.StringVar(&o.mech, "mech", "tempo", "translation mechanism: tempo, victima or revelator (MECHANISMS.md)")
 	flag.StringVar(&o.scheduler, "scheduler", "frfcfs", "memory scheduler: frfcfs or bliss")
 	flag.StringVar(&o.rowPolicy, "row-policy", "adaptive", "row policy: adaptive, open, closed")
 	flag.StringVar(&o.pageMode, "pagemode", "thp", "paging: 4k, thp, hugetlbfs2m, hugetlbfs1g")
@@ -338,6 +362,17 @@ func printResult(res *tempo.Result, cfg tempo.Config) {
 	}
 	if st.IMPPrefetches > 0 {
 		fmt.Printf("IMP                 prefetches %d  useful %d\n", st.IMPPrefetches, st.IMPUseful)
+	}
+	if res.Mechanism != "" {
+		names := make([]string, 0, len(res.MechCounters))
+		for name := range res.MechCounters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("mechanism           %s (%.4f J)\n", res.Mechanism, res.Energy.MechJ)
+		for _, name := range names {
+			fmt.Printf("  %-20s %d\n", name, res.MechCounters[name])
+		}
 	}
 	fmt.Printf("DRAM latency (p50/p99, cycles, enqueue→done):\n")
 	for _, cat := range []stats.DRAMCategory{tempo.DRAMPTW, tempo.DRAMReplay, tempo.DRAMOther} {

@@ -23,6 +23,9 @@ const (
 	FillTempo
 	// FillIMP is an IMP indirect prefetch.
 	FillIMP
+	// FillSpec is a speculative-translation prefetch issued by a rival
+	// mechanism (internal/translation, e.g. revelator).
+	FillSpec
 )
 
 // Replacement selects the victim-choice policy.

@@ -53,11 +53,15 @@ type Energy struct {
 	DRAMDynJ float64
 	CPUDynJ  float64
 	TempoJ   float64
+	// MechJ is the translation mechanism's modelled hardware overhead
+	// (tag stores, prediction tables); zero for tempo, whose engine
+	// power is TempoJ.
+	MechJ float64
 }
 
 // Total returns the sum of all components.
 func (e Energy) Total() float64 {
-	return e.StaticJ + e.DRAMDynJ + e.CPUDynJ + e.TempoJ
+	return e.StaticJ + e.DRAMDynJ + e.CPUDynJ + e.TempoJ + e.MechJ
 }
 
 // Account computes the energy of a run from its counters. tempoOn

@@ -185,6 +185,7 @@ func All() []Figure {
 		{"fig15", "PT-row wait-cycle sweep", (*Runner).Fig15},
 		{"fig16", "BLISS: prefetch counter weight and grace period sweeps", (*Runner).Fig16},
 		{"fig17", "Sub-row buffers (FOA/POA): sub-rows dedicated to prefetches", (*Runner).Fig17},
+		{"mech01", "Translation-mechanism zoo head-to-head (MECHANISMS.md; not a paper figure)", (*Runner).Mech01},
 	}
 }
 
@@ -236,6 +237,10 @@ type Runner struct {
 	Engine Engine
 	// Ctx, when set, cancels in-flight batches (default Background).
 	Ctx context.Context
+	// Mechs restricts the mech01 mechanism-zoo figure to the named
+	// translation mechanisms (tempo-bench's -mech axis); empty runs
+	// every registered mechanism.
+	Mechs []string
 
 	// mu guards cache: engine workers populate it concurrently.
 	mu    sync.Mutex

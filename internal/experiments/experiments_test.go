@@ -22,10 +22,10 @@ func tinyScale() Scale {
 
 func TestRegistry(t *testing.T) {
 	figs := All()
-	if len(figs) != 10 {
-		t.Fatalf("figures = %d, want 10", len(figs))
+	if len(figs) != 11 {
+		t.Fatalf("figures = %d, want 11", len(figs))
 	}
-	want := []string{"fig01", "fig04", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"}
+	want := []string{"fig01", "fig04", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "mech01"}
 	for i, f := range figs {
 		if f.ID != want[i] {
 			t.Errorf("figure %d = %s, want %s", i, f.ID, want[i])
@@ -39,6 +39,34 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, ok := ByID("fig99"); ok {
 		t.Error("ByID(fig99) should fail")
+	}
+}
+
+func TestMech01HeadToHead(t *testing.T) {
+	// Victima's engagement needs enough trace for PTE lines to be
+	// re-probed while still on chip; tinyScale's 6k records are too few.
+	s := tinyScale()
+	s.Records = 60_000
+	r := NewRunner(s)
+	r.Mechs = []string{"tempo", "victima"}
+	rep, err := r.Mech01()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 { // 2 mechanisms × 2 fixed workloads
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Values[0] <= 0 {
+			t.Errorf("%s: non-positive speedup %v", row.Label, row.Values[0])
+		}
+		// Every mechanism must engage (last column) on these workloads.
+		if row.Values[len(row.Values)-1] == 0 {
+			t.Errorf("%s: mechanism never engaged", row.Label)
+		}
+		if strings.HasPrefix(row.Label, "tempo/") && row.Values[0] <= 1.0 {
+			t.Errorf("%s: tempo must beat the shared baseline, got %v", row.Label, row.Values[0])
+		}
 	}
 }
 

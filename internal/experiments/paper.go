@@ -217,5 +217,34 @@ func ComparePaper(r *Runner) (string, error) {
 		fmt.Fprintf(&b, "| %s | %s | %.2f–%.2f | %.3f | %s |\n",
 			p.Figure, metric, p.PaperLo, p.PaperHi, v, in)
 	}
+	b.WriteString(mechZooNote)
 	return b.String(), nil
 }
+
+// mechZooNote is the standing "Mechanism zoo" section of
+// paper_vs_measured.md. It rides the generated table so regenerating
+// the file with -compare cannot silently drop the reading rules for
+// non-tempo rows.
+const mechZooNote = `
+## Mechanism zoo
+
+The bands above calibrate exactly one mechanism: ` + "`tempo`" + `, the
+paper this repository reproduces. The rival mechanisms behind ` + "`-mech`" + `
+(` + "`victima`, `revelator`" + ` — see MECHANISMS.md) share TEMPO's simulator,
+workloads and measurement plumbing, but they are *models built for
+head-to-head comparison on this testbed*, not reproductions of their
+own papers, and no band in this file applies to them.
+
+How to read a ` + "`mech01`" + `/` + "`mech`" + `-table row that is not tempo:
+
+* **relative, not absolute** — compare rival rows against the shared
+  baseline and against each other on *this* simulator; never against
+  a number printed in the rival's paper (each model's deviations are
+  itemised in MECHANISMS.md §2).
+* **check engagement first** — a rival row with a zero ` + "`engaged`" + `
+  column did not act; its speedup is noise around 1.0, not a result.
+* **energy includes the rival's own hardware** — ` + "`energy_gain`" + ` folds
+  the mechanism's modelled overhead (tag stores, prediction tables,
+  ` + "`Energy.MechJ`" + `) into the comparison; tempo's engine energy is
+  accounted by the DRAM model as in the paper.
+`

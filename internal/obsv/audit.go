@@ -40,6 +40,33 @@ const (
 	MetricInstructions    = "sys/instructions"
 )
 
+// Canonical registry names for the translation-mechanism zoo
+// (internal/translation, MECHANISMS.md). Each registered mechanism
+// reports its activity under "mech/<name>/..."; the tempo mirrors
+// restate the engine's mem/tempo_* counters under the mech schema so
+// Audit can cross-check the two views, and the rival counters obey
+// their own conservation laws (a lookup ends in exactly one verdict, a
+// verified prediction was made, and so on). The name strings are owned
+// here so the audit and the mechanisms cannot drift apart; the
+// translation package re-exports them.
+const (
+	MetricMechTempoTriggers   = "mech/tempo/triggers"
+	MetricMechTempoPrefetches = "mech/tempo/prefetches"
+	MetricMechTempoSuppressed = "mech/tempo/suppressed"
+
+	MetricMechVictimaLookups   = "mech/victima/lookups"
+	MetricMechVictimaPTEHits   = "mech/victima/pte_hits"
+	MetricMechVictimaPTEMisses = "mech/victima/pte_misses"
+	MetricMechVictimaEvicted   = "mech/victima/line_evicted"
+	MetricMechVictimaInserts   = "mech/victima/inserts"
+
+	MetricMechRevelatorPredictions    = "mech/revelator/predictions"
+	MetricMechRevelatorSpecPrefetches = "mech/revelator/spec_prefetches"
+	MetricMechRevelatorSpecHits       = "mech/revelator/spec_hits"
+	MetricMechRevelatorSpecMisses     = "mech/revelator/spec_misses"
+	MetricMechRevelatorSpecUseful     = "mech/revelator/spec_useful"
+)
+
 // Canonical registry names for the job-serving subsystem
 // (internal/service, SERVICE.md). "svc/jobs_*" metrics partition every
 // accepted job record by lifecycle state — submitted is the monotonic
@@ -252,11 +279,64 @@ func Audit(s Snapshot) []AuditViolation {
 		}
 		if pfRefs, ok := get(MetricDRAMRefsPf); ok {
 			imp, _ := get(MetricIMPPrefetches)
-			if pfRefs > prefetches+imp {
+			spec, _ := get(MetricMechRevelatorSpecPrefetches)
+			if pfRefs > prefetches+imp+spec {
 				fail("prefetch-dram-subset",
-					"%d prefetch DRAM references from %d TEMPO + %d IMP prefetches issued",
-					pfRefs, prefetches, imp)
+					"%d prefetch DRAM references from %d TEMPO + %d IMP + %d speculative prefetches issued",
+					pfRefs, prefetches, imp, spec)
 			}
+		}
+	}
+
+	// Translation-mechanism zoo (mech/* — present only on explicit
+	// Config.Mech runs, so every law here self-skips elsewhere).
+	if mt, ok := get(MetricMechTempoTriggers); ok && hasTriggers && mt != triggers {
+		fail("mech-tempo-mirror",
+			"%d mech/tempo/triggers != %d mem/tempo_triggers", mt, triggers)
+	}
+	if lookups, ok := get(MetricMechVictimaLookups); ok {
+		hits, ok1 := get(MetricMechVictimaPTEHits)
+		misses, ok2 := get(MetricMechVictimaPTEMisses)
+		// Every tag-store probe ends in exactly one verdict (evictions
+		// happen mid-probe and are counted separately).
+		if ok1 && ok2 && hits+misses != lookups {
+			fail("victima-lookup-partition",
+				"%d PTE hits + %d PTE misses != %d lookups", hits, misses, lookups)
+		}
+		if tlbMisses, ok := get(MetricTLBMisses); ok && lookups > tlbMisses {
+			fail("victima-lookups-need-tlb-misses",
+				"%d victima lookups but only %d TLB misses", lookups, tlbMisses)
+		}
+		inserts, okIns := get(MetricMechVictimaInserts)
+		if evicted, ok := get(MetricMechVictimaEvicted); ok && okIns && evicted > inserts {
+			fail("victima-evicted-subset",
+				"%d evicted-line drops from %d inserts", evicted, inserts)
+		}
+		if walks, ok := get(MetricWalksStarted); ok && okIns && inserts > walks {
+			fail("victima-inserts-need-walks",
+				"%d inserts but only %d walks started", inserts, walks)
+		}
+	}
+	if preds, ok := get(MetricMechRevelatorPredictions); ok {
+		hits, ok1 := get(MetricMechRevelatorSpecHits)
+		misses, ok2 := get(MetricMechRevelatorSpecMisses)
+		// Every prediction is verified by its walk (hit or refuted).
+		if ok1 && ok2 && hits+misses != preds {
+			fail("revelator-verdict-partition",
+				"%d confirmed + %d refuted != %d predictions", hits, misses, preds)
+		}
+		spec, okSpec := get(MetricMechRevelatorSpecPrefetches)
+		if okSpec && spec > preds {
+			fail("revelator-prefetch-subset",
+				"%d speculative prefetches from %d predictions", spec, preds)
+		}
+		if useful, ok := get(MetricMechRevelatorSpecUseful); ok && okSpec && useful > spec {
+			fail("revelator-useful-needs-prefetch",
+				"%d useful speculative lines but only %d prefetches issued", useful, spec)
+		}
+		if tlbMisses, ok := get(MetricTLBMisses); ok && preds > tlbMisses {
+			fail("revelator-predictions-need-tlb-misses",
+				"%d predictions but only %d TLB misses", preds, tlbMisses)
 		}
 	}
 	if submitted, ok := get(MetricSvcSubmitted); ok {

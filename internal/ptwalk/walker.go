@@ -27,6 +27,13 @@ type MemPort interface {
 	ReadPTE(paddr mem.PAddr, level int, isLeaf bool, replayLine uint64, at uint64) (latency uint64, fromDRAM bool)
 }
 
+// StepObserver sees every answered PTE reference of walks issued
+// through a walker. translation.CoreHooks satisfies it structurally;
+// the field is nil-safe and costs one pointer test per answered step.
+type StepObserver interface {
+	OnWalkStep(step vm.WalkStep, fromDRAM bool)
+}
+
 // ReplayLineBits is how many line-index bits the walker appends. 6
 // bits suffice for 4KB pages (the paper's figure); we carry enough for
 // a 1GB page so superpage leaves work identically.
@@ -72,6 +79,10 @@ type Walker struct {
 	Rec         *obsv.Recorder
 	CoreID      int
 	WalkLatency *obsv.Histogram
+
+	// Mech, when non-nil, observes every answered walk step (the
+	// translation-mechanism hook; see internal/translation).
+	Mech StepObserver
 }
 
 // New builds a walker over a page table with its own MMU caches.
@@ -174,6 +185,9 @@ func (ws *WalkState) Feed(latency uint64, fromDRAM bool) {
 	w := ws.w
 	step := ws.steps[ws.i]
 	ws.i++
+	if w.Mech != nil {
+		w.Mech.OnWalkStep(step, fromDRAM)
+	}
 	if w.Rec.Active() {
 		flags := uint8(0)
 		if fromDRAM {

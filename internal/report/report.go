@@ -245,7 +245,14 @@ func AuditAll(d *Data) (violations map[string][]obsv.AuditViolation, audited, sk
 			continue
 		}
 		audited++
-		if v := obsv.Audit(obsv.StatsSnapshot(&r.Result.Total)); len(v) > 0 {
+		snap := obsv.StatsSnapshot(&r.Result.Total)
+		// Explicit -mech runs carry their mechanism's counters; merging
+		// them into the snapshot arms the audit's mech/* laws (and the
+		// revelator term of prefetch-dram-subset) for this run.
+		for name, v := range r.Result.MechCounters {
+			snap.Counters[name] = v
+		}
+		if v := obsv.Audit(snap); len(v) > 0 {
 			violations[key] = v
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/translation"
 )
 
 // Table is one rendered cross-run summary: labelled rows under named
@@ -88,6 +89,9 @@ func Tables(d *Data) []*Table {
 	if t := SpeedupTable(d); len(t.Rows) > 0 {
 		out = append(out, t)
 	}
+	if t := MechTable(d); len(t.Rows) > 0 {
+		out = append(out, t)
+	}
 	if t := RowBufferTable(d); len(t.Rows) > 0 {
 		out = append(out, t)
 	}
@@ -154,6 +158,61 @@ func SpeedupTable(d *Data) *Table {
 	if len(t.Rows) > 0 {
 		t.Notes = append(t.Notes,
 			"speedup = base cycles / tempo cycles; weighted_speedup = mean per-core IPC ratio; energy_gain = base energy / tempo energy")
+	}
+	return t
+}
+
+// MechTable is the mechanism-zoo head-to-head (MECHANISMS.md): each
+// "mech/<name>/<workload>" run paired against "base/<workload>",
+// reporting speedup, IPC, energy, the walk-reference DRAM latency p50
+// (how fast the translation path itself got) and the mechanism's
+// engagement counter — proof the mechanism actually acted, since a
+// rival that never engages shows a flat 1.0 speedup indistinguishable
+// from a broken one. Only tempo rows are paper-comparable; see the
+// "Mechanism zoo" section of paper_vs_measured.md.
+func MechTable(d *Data) *Table {
+	t := &Table{
+		ID:      "mech",
+		Title:   "Translation-mechanism head-to-head vs shared baseline",
+		Columns: []string{"speedup", "weighted_speedup", "mech_ipc", "energy_gain", "ptw_dram_p50", "engaged"},
+	}
+	for _, key := range d.Keys() {
+		if !strings.HasPrefix(key, "mech/") {
+			continue
+		}
+		rest := strings.TrimPrefix(key, "mech/")
+		name, wl, found := strings.Cut(rest, "/")
+		if !found {
+			continue
+		}
+		base, mechRun, ok := pairedResult(d, "base/"+wl, key)
+		if !ok {
+			continue
+		}
+		b, v := base.Result, mechRun.Result
+		if b.Total.Cycles == 0 || v.Total.Cycles == 0 {
+			continue
+		}
+		energy := 0.0
+		if ve := v.Energy.Total(); ve > 0 {
+			energy = b.Energy.Total() / ve
+		}
+		engaged := 0.0
+		if c := translation.Engagement(name); c != "" {
+			engaged = float64(v.MechCounters[c])
+		}
+		t.Rows = append(t.Rows, TableRow{Label: name + "/" + wl, Cells: []float64{
+			float64(b.Total.Cycles) / float64(v.Total.Cycles),
+			weightedSpeedup(b.Cores, v.Cores),
+			v.Total.IPC(),
+			energy,
+			float64(v.Total.DRAMLatencyPercentile(stats.DRAMPTW, 0.50)),
+			engaged,
+		}})
+	}
+	if len(t.Rows) > 0 {
+		t.Notes = append(t.Notes,
+			"engaged = the mechanism's engagement counter (tempo: prefetches, victima: pte_hits, revelator: spec_hits); ptw_dram_p50 = median DRAM latency of page-walk references")
 	}
 	return t
 }

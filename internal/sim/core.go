@@ -12,6 +12,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
+	"repro/internal/translation"
 	"repro/internal/vm"
 )
 
@@ -65,6 +66,9 @@ type Core struct {
 	walker *ptwalk.Walker
 	hier   *cache.Hierarchy
 	imp    *prefetch.IMP
+	// mech is this core's translation-mechanism hooks (nil for tempo
+	// and the baseline, which keeps the fast path below engaged).
+	mech   translation.CoreHooks
 	stream trace.Stream
 	st     *stats.Stats
 	pool   *dram.Pool
@@ -178,7 +182,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 			// replay classification) beyond the writeback-queue pressure
 			// guard. This skips the full state machine on the two
 			// branches that dominate hot-path records.
-			if c.imp == nil && c.obs == nil {
+			if c.imp == nil && c.obs == nil && c.mech == nil {
 				tr, lvl := c.tlb.Lookup(rec.VAddr)
 				if lvl != tlb.Miss {
 					c.st.TLBHits++
@@ -260,6 +264,17 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 				c.phase = phAccess
 			case tlb.Miss:
 				c.st.TLBMisses++
+				if c.mech != nil {
+					if act := c.mech.OnTLBMiss(rec.VAddr, c.now); act.Hit {
+						// The mechanism resolved the translation itself
+						// (e.g. victima's cached PTE): no hardware walk.
+						c.tr = act.Translation
+						c.tlb.Insert(act.Translation)
+						c.now += act.Latency
+						c.phase = phAccess
+						continue
+					}
+				}
 				c.walker.Begin(&c.ws, rec.VAddr, c.now)
 				c.phase = phWalk
 			}
@@ -279,6 +294,9 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 				c.tr = res.Translation
 				c.tlb.Insert(c.tr)
 				c.walked, c.leafDRAM = true, res.LeafFromDRAM
+				if c.mech != nil {
+					c.mech.OnWalkComplete(c.rec.VAddr, res.Translation, res.LeafFromDRAM, c.now)
+				}
 				// TLB fill + pipeline replay before the memory reference
 				// is re-executed: TEMPO's slack window.
 				c.now += m.ReplayRestart
@@ -380,6 +398,10 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 					c.st.TempoUseful++
 				case cache.FillIMP:
 					c.st.IMPUseful++
+				case cache.FillSpec:
+					if c.mech != nil {
+						c.mech.OnPrefetchUseful()
+					}
 				}
 			}
 

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/translation"
+)
+
+// TestMechTempoBitIdentical pins the tentpole invariant of the
+// translation-mechanism seam (MECHANISMS.md §1): selecting the tempo
+// mechanism explicitly produces a result identical to not naming a
+// mechanism at all, except for the explicitly-requested mechanism
+// metadata (Result.Mechanism, Result.MechCounters; Energy.MechJ is 0
+// for tempo, so even the energy totals match).
+func TestMechTempoBitIdentical(t *testing.T) {
+	for _, wl := range []string{"xsbench", "graph500"} {
+		cfg := quickCfg(wl, 20_000)
+		cfg.Tempo = DefaultTempo()
+		implicit := run(t, cfg)
+
+		cfg.Mech = "tempo"
+		explicit := run(t, cfg)
+
+		if explicit.Mechanism != "tempo" {
+			t.Fatalf("%s: Mechanism = %q, want tempo", wl, explicit.Mechanism)
+		}
+		if explicit.MechCounters[translation.MetricTempoMirrorPrefetches] != implicit.Mem.TempoPrefetches {
+			t.Errorf("%s: mirror counter %d != engine prefetches %d", wl,
+				explicit.MechCounters[translation.MetricTempoMirrorPrefetches],
+				implicit.Mem.TempoPrefetches)
+		}
+		// Strip the opt-in metadata; everything else must be identical.
+		explicit.Mechanism = ""
+		explicit.MechCounters = nil
+		if !reflect.DeepEqual(implicit, explicit) {
+			t.Errorf("%s: explicit -mech tempo diverged from the default path", wl)
+		}
+	}
+}
+
+// TestMechDefaultResultCarriesNoMechanism pins the wire-format half of
+// the identity: a run without Config.Mech must leave the mechanism
+// fields zero, so gob-cached results from pre-seam sweeps stay valid.
+func TestMechDefaultResultCarriesNoMechanism(t *testing.T) {
+	cfg := quickCfg("xsbench", 5_000)
+	cfg.Tempo = DefaultTempo()
+	res := run(t, cfg)
+	if res.Mechanism != "" || res.MechCounters != nil || res.Energy.MechJ != 0 {
+		t.Errorf("default run leaked mechanism metadata: %q %v %g",
+			res.Mechanism, res.MechCounters, res.Energy.MechJ)
+	}
+}
+
+// TestVictimaEngages requires the victima mechanism to demonstrably
+// act on a locality-heavy config: its tag store must elide walks
+// (pte_hits > 0), and its counters must satisfy the audit partitions.
+func TestVictimaEngages(t *testing.T) {
+	cfg := quickCfg("xsbench", 60_000)
+	cfg.Mech = "victima"
+	res := run(t, cfg)
+
+	c := res.MechCounters
+	if c[translation.MetricVictimaPTEHits] == 0 {
+		t.Fatalf("victima never elided a walk: %v", c)
+	}
+	if c[translation.MetricVictimaPTEHits]+c[translation.MetricVictimaPTEMisses] != c[translation.MetricVictimaLookups] {
+		t.Errorf("lookup partition broken: %v", c)
+	}
+	if c[translation.MetricVictimaLookups] == 0 || c[translation.MetricVictimaInserts] == 0 {
+		t.Errorf("victima idle on a TLB-thrashing workload: %v", c)
+	}
+	// Elided walks mean fewer walks than the baseline issued.
+	base := run(t, quickCfg("xsbench", 60_000))
+	if res.Total.WalksStarted >= base.Total.WalksStarted {
+		t.Errorf("walks not elided: %d with victima vs %d baseline",
+			res.Total.WalksStarted, base.Total.WalksStarted)
+	}
+	if res.Energy.MechJ <= 0 {
+		t.Error("victima reported no tag-store energy")
+	}
+}
+
+// TestRevelatorEngages requires the revelator mechanism to issue
+// speculative prefetches that its verification walks confirm
+// (spec_hits > 0) and that demand accesses consume (spec_useful > 0)
+// on a locality-heavy config.
+func TestRevelatorEngages(t *testing.T) {
+	cfg := quickCfg("xsbench", 60_000)
+	cfg.Mech = "revelator"
+	res := run(t, cfg)
+
+	c := res.MechCounters
+	if c[translation.MetricRevelatorSpecHits] == 0 {
+		t.Fatalf("revelator never verified a speculation: %v", c)
+	}
+	if c[translation.MetricRevelatorSpecUseful] == 0 {
+		t.Errorf("no speculative prefetch was ever consumed: %v", c)
+	}
+	if c[translation.MetricRevelatorSpecHits]+c[translation.MetricRevelatorSpecMisses] != c[translation.MetricRevelatorPredictions] {
+		t.Errorf("verdict partition broken: %v", c)
+	}
+	if c[translation.MetricRevelatorSpecPrefetches] > c[translation.MetricRevelatorPredictions] {
+		t.Errorf("more prefetches than predictions: %v", c)
+	}
+	// Revelator never elides the walk — walk counts match the baseline.
+	base := run(t, quickCfg("xsbench", 60_000))
+	if res.Total.WalksStarted != base.Total.WalksStarted {
+		t.Errorf("revelator changed walk count: %d vs %d",
+			res.Total.WalksStarted, base.Total.WalksStarted)
+	}
+	if res.Energy.MechJ <= 0 {
+		t.Error("revelator reported no table energy")
+	}
+}
+
+// TestRivalRejectsTempo pins the exclusivity law: one translation
+// mechanism per run, so a rival under Config.Tempo.Enabled is a
+// configuration error, not a silent stack.
+func TestRivalRejectsTempo(t *testing.T) {
+	for _, mech := range []string{"victima", "revelator"} {
+		cfg := quickCfg("xsbench", 1_000)
+		cfg.Mech = mech
+		cfg.Tempo = DefaultTempo()
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: rival stacked on TEMPO without error", mech)
+		}
+	}
+}
+
+// TestUnknownMechanismRejected pins the registry error path.
+func TestUnknownMechanismRejected(t *testing.T) {
+	cfg := quickCfg("xsbench", 1_000)
+	cfg.Mech = "nosuch"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
+	"repro/internal/translation"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -76,6 +77,14 @@ type Result struct {
 	Energy dram.Energy
 	// TempoOn records whether TEMPO was enabled.
 	TempoOn bool
+	// Mechanism is the translation mechanism the run selected
+	// explicitly via Config.Mech ("" for default runs, whose pipeline
+	// is the tempo mechanism; see MECHANISMS.md).
+	Mechanism string
+	// MechCounters holds the mechanism's mech/<name>/* counters,
+	// populated only for explicit Config.Mech runs (default runs stay
+	// byte-identical on the wire for the result cache).
+	MechCounters map[string]uint64
 }
 
 // IPC returns the run's aggregate instructions per cycle.
@@ -92,7 +101,13 @@ type System struct {
 	ctrl    *dram.Controller
 	mem     *memSys
 	mst     *stats.Stats
-	engine  *core.Engine
+	// mech is the run's translation mechanism (never nil after New;
+	// the default is the tempo mechanism, which reproduces the
+	// pre-mechanism wiring verbatim).
+	mech translation.Mechanism
+	// mechHooks records that at least one core received mechanism
+	// hooks; such runs execute under the serial coordinator only.
+	mechHooks bool
 	// obs is the instrumentation layer Attach wires in (nil = disabled).
 	obs *obsv.Observer
 	// par is the epoch worker pool (nil when the run is serial:
@@ -225,16 +240,26 @@ func New(cfg Config) (*System, error) {
 
 	s.mem.pool = s.ctrl.Pool()
 
-	if cfg.Tempo.Enabled {
-		s.engine = core.NewEngine(readers, s.mst)
-		s.engine.Pool = s.ctrl.Pool()
-		s.ctrl.Observer = s.engine
-		s.ctrl.OnPrefetchDone = func(r *dram.Request) {
-			if s.mem.tempoLLC {
-				s.mem.AddPending(r.Addr, r.Complete+s.machine.LLCFillExtra, cache.FillTempo)
-			}
-		}
+	// Translation mechanism (MECHANISMS.md): the factory wires itself
+	// into the controller; the default tempo mechanism reproduces the
+	// pre-mechanism TEMPO wiring verbatim (or nothing when Tempo is
+	// off), so unset Mech stays bit-identical to the old pipeline.
+	mech, err := translation.New(cfg.Mech, translation.Deps{
+		Reader:   readers,
+		MemStats: s.mst,
+		Ctrl:     s.ctrl,
+		Fill:     s.mem,
+		Params: translation.Params{
+			TempoEnabled: cfg.Tempo.Enabled,
+			TempoLLC:     cfg.Tempo.LLCPrefetch,
+			LLCFillExtra: s.machine.LLCFillExtra,
+			Cores:        len(cfg.Workloads),
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	s.mech = mech
 
 	// Cores.
 	for i := range cfg.Workloads {
@@ -256,6 +281,11 @@ func New(cfg Config) (*System, error) {
 			// The ring models IMP's index-stream lead: Distance records
 			// plus the one executing.
 			c.lookahead = make([]trace.Record, prefetch.DefaultConfig().Distance+1)
+		}
+		if hooks := s.mech.NewCore(i, mechPort{c}); hooks != nil {
+			c.mech = hooks
+			c.walker.Mech = hooks
+			s.mechHooks = true
 		}
 		s.cores = append(s.cores, c)
 	}
@@ -281,7 +311,7 @@ func (s *System) Run() (*Result, error) {
 	// with an attached observer keep the pool (its gauges stay
 	// readable) but every epoch attempt gates off, so they execute
 	// serially and all parallelism counters read zero.
-	if s.cfg.Workers > 1 && n > 1 && !s.cfg.IMP {
+	if s.cfg.Workers > 1 && n > 1 && !s.cfg.IMP && !s.mechHooks {
 		s.par = newEpochPool(s.cfg.Workers, n)
 		defer s.par.close()
 		if s.obs == nil {
@@ -438,6 +468,18 @@ func (s *System) Run() (*Result, error) {
 		res.Total.Add(&res.Cores[i])
 	}
 	res.Energy = s.machine.Energy.Account(&res.Total, s.cfg.Tempo.Enabled)
+	// Mechanism identity and counters are reported only for explicit
+	// -mech runs: default configs keep their wire encoding (and thus
+	// their result-cache entries) byte-identical to the pre-mechanism
+	// simulator even though they run the tempo mechanism internally.
+	if s.cfg.Mech != "" {
+		res.Mechanism = s.mech.Name()
+		res.MechCounters = map[string]uint64{}
+		s.mech.CountersInto(func(name string, v uint64) {
+			res.MechCounters[name] = v
+		})
+		res.Energy.MechJ = s.mech.EnergyJ()
+	}
 	return res, nil
 }
 

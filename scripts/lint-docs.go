@@ -11,6 +11,13 @@
 // satisfies a flag named "trace", but "-trace-events" does not, so a
 // rename cannot silently leave a stale cousin covering for it.
 //
+// The same spec-first discipline covers the translation-mechanism zoo:
+// every mechanism registered in internal/translation (the string
+// literal passed to Register) must be mentioned in MECHANISMS.md, the
+// zoo's normative spec — boundary-aware like the flag check, so
+// "victimax" cannot cover for "victima". Registering a mechanism
+// without writing its spec is fatal.
+//
 // Run from the repository root (CI does):
 //
 //	go run ./scripts/lint-docs.go
@@ -62,6 +69,10 @@ func main() {
 				}
 			}
 		}
+	}
+
+	for _, m := range mechanismDocGaps(root) {
+		fatal = append(fatal, m)
 	}
 
 	if warnings > 0 {
@@ -162,6 +173,110 @@ func docMentionsFlag(doc, name string) bool {
 func isFlagChar(c byte) bool {
 	return c == '-' || c == '_' ||
 		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+// mechanismDocGaps enforces the MECHANISMS.md gate: every mechanism
+// registered in internal/translation must appear in MECHANISMS.md.
+// Returns one fatal message per gap; a repo without a translation
+// package (or without registered mechanisms) trivially passes, but a
+// registered mechanism with a missing spec file does not.
+func mechanismDocGaps(root string) []string {
+	names, err := registeredMechanisms(filepath.Join(root, "internal", "translation"))
+	if err != nil {
+		return []string{fmt.Sprintf("internal/translation: %v", err)}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	specPath := filepath.Join(root, "MECHANISMS.md")
+	spec, err := os.ReadFile(specPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%d mechanisms registered but MECHANISMS.md is unreadable: %v", len(names), err)}
+	}
+	var gaps []string
+	for _, name := range names {
+		if !docMentionsWord(string(spec), name) {
+			gaps = append(gaps, fmt.Sprintf(
+				"MECHANISMS.md: registered mechanism %q is never mentioned (write its spec)", name))
+		}
+	}
+	return gaps
+}
+
+// registeredMechanisms returns the sorted names passed as the first
+// string-literal argument to Register / translation.Register calls in
+// the package at dir. A missing directory yields no names (repos
+// without the zoo pass the gate trivially).
+func registeredMechanisms(dir string) ([]string, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name != "Register" {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if fun.Sel.Name != "Register" {
+						return true
+					}
+				default:
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if name := strings.Trim(lit.Value, "`\""); name != "" {
+					seen[name] = true
+				}
+				return true
+			})
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// docMentionsWord reports whether doc contains name at identifier
+// boundaries — the mechanism-name analogue of docMentionsFlag, without
+// the leading dash (so both `victima` prose and -mech victima usage
+// satisfy it, but "victimax" or "revictima" do not).
+func docMentionsWord(doc, name string) bool {
+	for i := 0; ; {
+		j := strings.Index(doc[i:], name)
+		if j < 0 {
+			return false
+		}
+		j += i
+		i = j + 1
+		if j > 0 && isFlagChar(doc[j-1]) {
+			continue
+		}
+		if end := j + len(name); end < len(doc) && isFlagChar(doc[end]) {
+			continue
+		}
+		return true
+	}
 }
 
 // packageDirs returns every directory under root containing a

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materialises a map of relative path → contents under a
+// fresh temp root and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const zooSource = `// Package translation is a fixture.
+package translation
+
+func init() {
+	Register("tempo", nil)
+	Register("victima", nil)
+}
+
+func more() {
+	translation.Register("revelator", nil)
+}
+`
+
+func TestRegisteredMechanismsParsesRegisterCalls(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/translation/zoo.go": zooSource,
+		// Test files must not contribute names.
+		"internal/translation/zoo_test.go": "package translation\n\nfunc init() { Register(\"testonly\", nil) }\n",
+	})
+	names, err := registeredMechanisms(filepath.Join(root, "internal", "translation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"revelator", "tempo", "victima"}
+	if len(names) != len(want) {
+		t.Fatalf("registeredMechanisms = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registeredMechanisms = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegisteredMechanismsMissingDirIsEmpty(t *testing.T) {
+	names, err := registeredMechanisms(filepath.Join(t.TempDir(), "no", "such", "dir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("registeredMechanisms on missing dir = %v, want none", names)
+	}
+}
+
+func TestMechanismDocGapsFailsOnMissingName(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/translation/zoo.go": zooSource,
+		// victima appears only as a longer identifier; revelator is
+		// absent entirely — both must be reported. tempo is covered.
+		"MECHANISMS.md": "# zoo\n\nThe `tempo` mechanism. Also victimax exists.\n",
+	})
+	gaps := mechanismDocGaps(root)
+	if len(gaps) != 2 {
+		t.Fatalf("mechanismDocGaps = %v, want 2 gaps (revelator, victima)", gaps)
+	}
+}
+
+func TestMechanismDocGapsPassesWhenAllMentioned(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/translation/zoo.go": zooSource,
+		"MECHANISMS.md":               "# zoo\n\n`tempo`, `victima` and mech/revelator/* are all here.\n",
+	})
+	if gaps := mechanismDocGaps(root); len(gaps) != 0 {
+		t.Fatalf("mechanismDocGaps = %v, want none", gaps)
+	}
+}
+
+func TestMechanismDocGapsMissingSpecFileIsFatal(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/translation/zoo.go": zooSource,
+	})
+	gaps := mechanismDocGaps(root)
+	if len(gaps) != 1 {
+		t.Fatalf("mechanismDocGaps without MECHANISMS.md = %v, want 1", gaps)
+	}
+}
+
+func TestMechanismDocGapsNoZooTriviallyPasses(t *testing.T) {
+	if gaps := mechanismDocGaps(t.TempDir()); len(gaps) != 0 {
+		t.Fatalf("mechanismDocGaps on empty repo = %v, want none", gaps)
+	}
+}
+
+func TestDocMentionsWordBoundaries(t *testing.T) {
+	cases := []struct {
+		doc, name string
+		want      bool
+	}{
+		{"the victima mechanism", "victima", true},
+		{"`victima`", "victima", true},
+		{"mech/victima/lookups", "victima", true},
+		{"victimax", "victima", false},
+		{"revictima", "victima", false},
+		{"victima-like", "victima", false},
+		{"", "victima", false},
+		{"victima", "victima", true},
+	}
+	for _, c := range cases {
+		if got := docMentionsWord(c.doc, c.name); got != c.want {
+			t.Errorf("docMentionsWord(%q, %q) = %v, want %v", c.doc, c.name, got, c.want)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func TestWorkloadCatalog(t *testing.T) {
 }
 
 func TestFigureRegistryExposed(t *testing.T) {
-	if len(Figures()) != 10 {
+	if len(Figures()) != 11 { // fig01..fig17 + mech01
 		t.Errorf("figures = %d", len(Figures()))
 	}
 	if _, err := RunFigure("fig99", QuickScale()); err == nil {
