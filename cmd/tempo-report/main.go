@@ -10,20 +10,29 @@
 //
 //	tempo-report tables -runs .tempo/runs.jsonl -cache-dir .tempo -obs-dir tempo-obs
 //	tempo-report tables -runs runs.jsonl -cache-dir .tempo -format csv -o tables.csv
+//	tempo-report cpi -runs runs.jsonl -cache-dir .tempo
+//	tempo-report cpi -runs runs.jsonl -cache-dir .tempo -format csv -o cpi.csv
 //	tempo-report audit -runs runs.jsonl -cache-dir .tempo
 //	tempo-report diff old.json new.json
 //	tempo-report diff -max-regress 5% old.json new.json
 //
-// tables renders speedup / weighted-speedup, DRAM row-buffer hit rate,
-// and walk-latency quantile tables as markdown (-format md, default),
-// CSV (-format csv) or both concatenated (-format all), to stdout or
-// -o. -runs names the runs.jsonl log, -cache-dir the result cache
-// root, -obs-dir the interval-stats directory ("" skips series-backed
-// tables).
+// tables renders speedup / weighted-speedup, CPI-stack, DRAM
+// row-buffer hit rate, and walk-latency quantile tables as markdown
+// (-format md, default), CSV (-format csv) or both concatenated
+// (-format all), to stdout or -o. -runs names the runs.jsonl log,
+// -cache-dir the result cache root, -obs-dir the interval-stats
+// directory ("" skips series-backed tables).
 //
-// audit runs the obsv counter-conservation checks over every cached
-// result and exits 1 if any invariant is violated — the offline
-// counterpart of the end-to-end audit test.
+// cpi renders just the cycle-attribution view: the CPI-stack table
+// (per-run bucket fractions; OBSERVABILITY.md "CPI stacks") followed,
+// in markdown mode, by a stacked-bar text figure of the same data. It
+// takes the same -runs, -cache-dir, -format and -o flags as tables
+// (the bar figure is markdown-only; -format csv emits just the table).
+//
+// audit runs the obsv counter-conservation checks — including the
+// per-core cpi-stack-sums-to-cycles law — over every cached result and
+// exits 1 if any invariant is violated — the offline counterpart of
+// the end-to-end audit test.
 //
 // diff flattens two JSON documents (bench summaries, saved tables) to
 // numeric leaves and compares them; leaves whose names imply a quality
@@ -48,6 +57,8 @@ func main() {
 	switch os.Args[1] {
 	case "tables":
 		cmdTables(os.Args[2:])
+	case "cpi":
+		cmdCPI(os.Args[2:])
 	case "audit":
 		cmdAudit(os.Args[2:])
 	case "diff":
@@ -58,8 +69,58 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tempo-report tables|audit|diff [flags] [files]")
+	fmt.Fprintln(os.Stderr, "usage: tempo-report tables|cpi|audit|diff [flags] [files]")
 	os.Exit(2)
+}
+
+func cmdCPI(args []string) {
+	fs := flag.NewFlagSet("cpi", flag.ExitOnError)
+	runs := fs.String("runs", "", "runs.jsonl telemetry log (required)")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (required)")
+	format := fs.String("format", "md", "output format: md, csv or all")
+	out := fs.String("o", "", "write output here instead of stdout")
+	fs.Parse(args)
+	if *runs == "" || *cacheDir == "" {
+		fatal("cpi: -runs and -cache-dir are required")
+	}
+	d, err := report.Load(*runs, *cacheDir, "")
+	if err != nil {
+		fatal("cpi: %v", err)
+	}
+	t := report.CPITable(d)
+	if len(t.Rows) == 0 {
+		fatal("cpi: no attributed runs (results cached before CPI attribution have no stack; re-run the sweep)")
+	}
+	var b strings.Builder
+	switch *format {
+	case "md":
+		b.WriteString(t.Markdown())
+		if fig := report.CPIFigure(d); fig != "" {
+			b.WriteString("```\n")
+			b.WriteString(fig)
+			b.WriteString("```\n")
+		}
+	case "csv":
+		b.WriteString(t.CSV())
+	case "all":
+		b.WriteString(t.Markdown())
+		if fig := report.CPIFigure(d); fig != "" {
+			b.WriteString("```\n")
+			b.WriteString(fig)
+			b.WriteString("```\n")
+		}
+		b.WriteString(t.CSV())
+	default:
+		fatal("cpi: unknown -format %q (want md, csv or all)", *format)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fatal("cpi: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		return
+	}
+	fmt.Print(b.String())
 }
 
 func cmdTables(args []string) {

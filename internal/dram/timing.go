@@ -43,6 +43,13 @@ func (t Timing) ConflictLatency() uint64 {
 	return t.TRP + t.TRCD + t.TCL + t.TBurst
 }
 
+// ConflictExtra is the critical-path penalty a row conflict pays over
+// a plain row miss: the PRECHARGE of the previously open row. The CPI
+// stack's row-conflict-extra bucket charges this portion of a
+// conflicting access's service time separately from the array access
+// itself.
+func (t Timing) ConflictExtra() uint64 { return t.TRP }
+
 // RowPolicy selects the row-buffer management strategy (Section 4.3 of
 // the paper evaluates TEMPO under all three).
 type RowPolicy uint8

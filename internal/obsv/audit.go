@@ -40,6 +40,49 @@ const (
 	MetricInstructions    = "sys/instructions"
 )
 
+// Canonical registry names for the per-core CPI stack (OBSERVABILITY.md
+// "CPI stacks"). The cpi/* bucket metrics are summed across cores;
+// cpi/cycles is the matching denominator (per-core cycles summed, where
+// sys-level Cycles would take the max), so the
+// cpi-stack-sums-to-cycles law holds on merged views too. The two
+// credit metrics are event counts, not cycles: DRAM round trips a
+// prefetch hid from a post-walk replay, and hardware walks a
+// translation mechanism elided — each bounded by the TLB misses that
+// could have triggered them.
+const (
+	MetricCPICompute          = "cpi/compute"
+	MetricCPITLBL2            = "cpi/tlb_l2"
+	MetricCPIWalkMMU          = "cpi/walk_mmu"
+	MetricCPIWalkPTECache     = "cpi/walk_pte_cache"
+	MetricCPIWalkPTEDRAM      = "cpi/walk_pte_dram"
+	MetricCPIDataL1           = "cpi/data_l1"
+	MetricCPIDataL2           = "cpi/data_l2"
+	MetricCPIDataLLC          = "cpi/data_llc"
+	MetricCPIDataDRAMQueue    = "cpi/data_dram_queue"
+	MetricCPIDataDRAMService  = "cpi/data_dram_service"
+	MetricCPIRowConflictExtra = "cpi/row_conflict_extra"
+	MetricCPICycles           = "cpi/cycles"
+	MetricCPIHiddenByPrefetch = "cpi/hidden_by_prefetch"
+	MetricCPIMechElided       = "cpi/mech_elided"
+)
+
+// CPIBucketMetrics maps each stats.CPIBucket to its registry name, in
+// bucket order — the iteration the audit, the report tables and the
+// Prometheus round-trip tests share.
+var CPIBucketMetrics = [stats.NumCPIBuckets]string{
+	stats.CPICompute:          MetricCPICompute,
+	stats.CPITLBL2:            MetricCPITLBL2,
+	stats.CPIWalkMMU:          MetricCPIWalkMMU,
+	stats.CPIWalkPTECache:     MetricCPIWalkPTECache,
+	stats.CPIWalkPTEDRAM:      MetricCPIWalkPTEDRAM,
+	stats.CPIDataL1:           MetricCPIDataL1,
+	stats.CPIDataL2:           MetricCPIDataL2,
+	stats.CPIDataLLC:          MetricCPIDataLLC,
+	stats.CPIDataDRAMQueue:    MetricCPIDataDRAMQueue,
+	stats.CPIDataDRAMService:  MetricCPIDataDRAMService,
+	stats.CPIRowConflictExtra: MetricCPIRowConflictExtra,
+}
+
 // Canonical registry names for the translation-mechanism zoo
 // (internal/translation, MECHANISMS.md). Each registered mechanism
 // reports its activity under "mech/<name>/..."; the tempo mirrors
@@ -99,7 +142,16 @@ type metricPair struct {
 // merged system view (Result.Total) so memory-side and per-core
 // counters are both populated.
 func statsPairs(st *stats.Stats) []metricPair {
-	return []metricPair{
+	pairs := make([]metricPair, 0, 40)
+	for b, name := range CPIBucketMetrics {
+		pairs = append(pairs, metricPair{name, st.CPIStack[b]})
+	}
+	pairs = append(pairs,
+		metricPair{MetricCPICycles, st.CPICycles},
+		metricPair{MetricCPIHiddenByPrefetch, st.CPIHiddenByPrefetch},
+		metricPair{MetricCPIMechElided, st.CPIMechElided},
+	)
+	return append(pairs, []metricPair{
 		{MetricReads, st.RdCount},
 		{MetricWrites, st.WrCount},
 		{MetricRefreshes, st.RefCount},
@@ -123,7 +175,7 @@ func statsPairs(st *stats.Stats) []metricPair {
 		{MetricWalkDRAMReplay, st.WalkDRAMThenReplayDRAM},
 		{MetricMemRefs, st.MemRefs},
 		{MetricInstructions, st.Instructions},
-	}
+	}...)
 }
 
 // StatsSnapshot builds a registry Snapshot from end-of-run stats
@@ -211,7 +263,11 @@ func (v AuditViolation) String() string { return v.Check + ": " + v.Detail }
 //     categories;
 //   - accepted service jobs are conserved across lifecycle states
 //     (submitted = queued + running + completed + failed + canceled),
-//     and cache-served completions are a subset of completions.
+//     and cache-served completions are a subset of completions;
+//   - every core cycle was charged to exactly one CPI-stack bucket, so
+//     the cpi/* buckets sum to cpi/cycles, and the hidden-by-prefetch /
+//     mech-elided credits cannot exceed the TLB misses that could have
+//     produced them.
 //
 // A check whose operands are absent from the snapshot is skipped, so
 // Audit accepts partial snapshots (an interval delta, a registry with
@@ -358,6 +414,41 @@ func Audit(s Snapshot) []AuditViolation {
 		if hits, ok := get(MetricSvcCacheHits); ok && ok3 && hits > completed {
 			fail("service-cache-hits-subset",
 				"%d cache-served jobs out of %d completed", hits, completed)
+		}
+	}
+
+	// CPI stack conservation: every attributed cycle went somewhere, and
+	// the buckets sum back to the clock. cpi/cycles == 0 marks an
+	// unattributed result (a legacy cache entry or a zeroed snapshot),
+	// which self-skips like any absent operand.
+	if cycles, ok := get(MetricCPICycles); ok && cycles > 0 {
+		var sum uint64
+		complete := true
+		for _, name := range CPIBucketMetrics {
+			v, ok := get(name)
+			if !ok {
+				complete = false
+				break
+			}
+			sum += v
+		}
+		if complete && sum != cycles {
+			fail("cpi-stack-sums-to-cycles",
+				"%d attributed cycles across %d buckets != %d core cycles (diff %+d)",
+				sum, len(CPIBucketMetrics), cycles, int64(sum)-int64(cycles))
+		}
+	}
+	if tlbMisses, ok := get(MetricTLBMisses); ok {
+		// Each credit event stems from a TLB miss: a hidden replay
+		// required a walk (hence a miss), and an elided walk is a miss the
+		// mechanism absorbed.
+		if hidden, ok := get(MetricCPIHiddenByPrefetch); ok && hidden > tlbMisses {
+			fail("cpi-hidden-by-prefetch-bound",
+				"%d prefetch-hidden replays but only %d TLB misses", hidden, tlbMisses)
+		}
+		if elided, ok := get(MetricCPIMechElided); ok && elided > tlbMisses {
+			fail("cpi-mech-elided-bound",
+				"%d mechanism-elided walks but only %d TLB misses", elided, tlbMisses)
 		}
 	}
 

@@ -30,6 +30,14 @@ func consistentStats() stats.Stats {
 	st.WrCount = 12
 	st.MemRefs = 1000
 	st.Instructions = 3000
+	// An attributed CPI stack: buckets sum exactly to CPICycles, and
+	// the credits stay within the TLB misses that could produce them.
+	for b := range st.CPIStack {
+		st.CPIStack[b] = uint64(1000 * (b + 1))
+		st.CPICycles += st.CPIStack[b]
+	}
+	st.CPIHiddenByPrefetch = 30
+	st.CPIMechElided = 10
 	return st
 }
 
@@ -64,6 +72,14 @@ func TestAuditCatchesCorruptions(t *testing.T) {
 			"prefetch-dram-subset"},
 		{"read commands drift", func(s *stats.Stats) { s.RdCount++ },
 			"dram-read-conservation"},
+		{"cpi stack leaks a cycle", func(s *stats.Stats) { s.CPIStack[stats.CPICompute]-- },
+			"cpi-stack-sums-to-cycles"},
+		{"cpi stack double-charges", func(s *stats.Stats) { s.CPIStack[stats.CPIDataDRAMService] += 7 },
+			"cpi-stack-sums-to-cycles"},
+		{"hidden credits exceed misses", func(s *stats.Stats) { s.CPIHiddenByPrefetch = s.TLBMisses + 1 },
+			"cpi-hidden-by-prefetch-bound"},
+		{"elided credits exceed misses", func(s *stats.Stats) { s.CPIMechElided = s.TLBMisses + 1 },
+			"cpi-mech-elided-bound"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +129,17 @@ func TestAuditSkipsAbsentOperands(t *testing.T) {
 	}
 	if v := Audit(Snapshot{}); len(v) != 0 {
 		t.Fatalf("empty snapshot should audit clean, got %v", v)
+	}
+}
+
+// cpi/cycles == 0 marks an unattributed result (a pre-CPI cache entry
+// decoded under the new schema): the stack law must self-skip even
+// when bucket metrics are present and nonzero.
+func TestAuditSkipsUnattributedCPIStack(t *testing.T) {
+	st := consistentStats()
+	st.CPICycles = 0
+	if v := Audit(StatsSnapshot(&st)); len(v) != 0 {
+		t.Fatalf("unattributed stats should audit clean, got %v", v)
 	}
 }
 

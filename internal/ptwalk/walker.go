@@ -52,6 +52,14 @@ type Result struct {
 	OK bool
 	// Latency is the full serialised walk latency in cycles.
 	Latency uint64
+	// CacheLatency and DRAMLatency split Latency by where the PTE
+	// reads were answered: cycles spent in on-chip cache probes vs the
+	// DRAM round-trip portion of DRAM-served reads. The remainder
+	// (Latency − CacheLatency − DRAMLatency) is the walker's own
+	// per-reference step overhead — the split the CPI stack's
+	// walk-pte-cache / walk-pte-dram / walk-mmu buckets charge.
+	CacheLatency uint64
+	DRAMLatency  uint64
 	// LeafFromDRAM reports whether the leaf PTE was read from DRAM —
 	// TEMPO's trigger condition.
 	LeafFromDRAM bool
@@ -180,8 +188,29 @@ func (ws *WalkState) ReplayLine() uint64 { return ws.replayLine }
 
 // Feed records the memory system's answer for the step Next returned:
 // accumulates latency, tracks DRAM provenance, and refills the MMU
-// caches from non-leaf entries.
+// caches from non-leaf entries. The whole answered latency lands in
+// the matching CacheLatency/DRAMLatency split; callers that know the
+// on-chip probe portion of a DRAM-served read use FeedDRAM instead.
 func (ws *WalkState) Feed(latency uint64, fromDRAM bool) {
+	if fromDRAM {
+		ws.res.DRAMLatency += latency
+	} else {
+		ws.res.CacheLatency += latency
+	}
+	ws.feed(latency, fromDRAM)
+}
+
+// FeedDRAM records a DRAM-served answer whose first cachePortion
+// cycles were the on-chip probe that missed (charged to CacheLatency);
+// the remainder is the DRAM round trip. cachePortion must not exceed
+// latency.
+func (ws *WalkState) FeedDRAM(latency, cachePortion uint64) {
+	ws.res.CacheLatency += cachePortion
+	ws.res.DRAMLatency += latency - cachePortion
+	ws.feed(latency, true)
+}
+
+func (ws *WalkState) feed(latency uint64, fromDRAM bool) {
 	w := ws.w
 	step := ws.steps[ws.i]
 	ws.i++

@@ -235,7 +235,11 @@ func (s *Series) SumHists(suffix string) (obsv.HistSnapshot, bool) {
 // AuditAll runs the obsv counter-conservation audit over every run
 // that has a cached result, returning violations keyed by run key
 // (sorted). Runs without results are skipped (and reported via the
-// returned skipped count) rather than failing the audit.
+// returned skipped count) rather than failing the audit. Beyond the
+// merged-total snapshot audit, each attributed per-core Stats is
+// checked against the cpi-stack-sums-to-cycles law individually —
+// merging could mask a core that over-attributes exactly what a
+// sibling under-attributes.
 func AuditAll(d *Data) (violations map[string][]obsv.AuditViolation, audited, skipped int) {
 	violations = make(map[string][]obsv.AuditViolation)
 	for _, key := range d.Keys() {
@@ -252,7 +256,21 @@ func AuditAll(d *Data) (violations map[string][]obsv.AuditViolation, audited, sk
 		for name, v := range r.Result.MechCounters {
 			snap.Counters[name] = v
 		}
-		if v := obsv.Audit(snap); len(v) > 0 {
+		v := obsv.Audit(snap)
+		for i := range r.Result.Cores {
+			c := &r.Result.Cores[i]
+			if c.CPICycles == 0 {
+				continue // unattributed legacy result
+			}
+			if attr := c.CPIAttributed(); attr != c.CPICycles {
+				v = append(v, obsv.AuditViolation{
+					Check: "cpi-stack-sums-to-cycles",
+					Detail: fmt.Sprintf("core %d: %d attributed cycles != %d core cycles (diff %+d)",
+						i, attr, c.CPICycles, int64(attr)-int64(c.CPICycles)),
+				})
+			}
+		}
+		if len(v) > 0 {
 			violations[key] = v
 		}
 	}

@@ -18,6 +18,12 @@ func fakeResult(cycles, instr uint64) *sim.Result {
 	res := &sim.Result{Cores: []stats.Stats{{Cycles: cycles, Instructions: instr}}}
 	res.Cores[0].TLBMisses = 100
 	res.Cores[0].WalksStarted = 90
+	// An attributed CPI stack that satisfies the conservation law:
+	// buckets sum exactly to CPICycles.
+	res.Cores[0].CPICycles = cycles
+	res.Cores[0].CPIStack[stats.CPICompute] = cycles / 2
+	res.Cores[0].CPIStack[stats.CPIDataL1] = cycles / 4
+	res.Cores[0].CPIStack[stats.CPIDataDRAMService] = cycles - cycles/2 - cycles/4
 	res.Mem.DRAMOutcomes[stats.DRAMOther][stats.RowHit] = 30
 	res.Mem.DRAMOutcomes[stats.DRAMOther][stats.RowMiss] = 10
 	res.Mem.DRAMOutcomes[stats.DRAMPrefetch][stats.RowHit] = 8

@@ -92,6 +92,9 @@ func Tables(d *Data) []*Table {
 	if t := MechTable(d); len(t.Rows) > 0 {
 		out = append(out, t)
 	}
+	if t := CPITable(d); len(t.Rows) > 0 {
+		out = append(out, t)
+	}
 	if t := RowBufferTable(d); len(t.Rows) > 0 {
 		out = append(out, t)
 	}

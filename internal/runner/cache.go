@@ -20,7 +20,13 @@ import (
 // layout or simulator semantics change so stale entries are ignored
 // rather than misread; the config hash already covers configuration
 // fields themselves (a Config gaining a field changes every key).
-const SchemaVersion = 1
+//
+// v2: stats.Stats gained the CPI-stack attribution fields (CPIStack,
+// CPICycles and the credit counters). Attribution is always on and not
+// a Config knob, so runs within v2 hash identically whether or not
+// anything reads the stack; v1 entries (which would decode with a zero
+// CPICycles, the audit's unattributed marker) are retired wholesale.
+const SchemaVersion = 2
 
 // ConfigKey returns the stable content hash naming cfg in the
 // persistent cache: a SHA-256 of the canonically-serialized

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,7 +129,7 @@ func TestDiskCacheVersionIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(dc.Dir()) != "v1" {
+	if filepath.Base(dc.Dir()) != fmt.Sprintf("v%d", SchemaVersion) {
 		t.Errorf("cache root %q not versioned", dc.Dir())
 	}
 }

@@ -169,7 +169,9 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 			}
 			c.ran++
 			c.rec = rec
-			c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+			gap := (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+			c.now += gap
+			c.st.CPIStack[stats.CPICompute] += gap
 			c.st.Instructions += uint64(rec.Gap) + 1
 			c.st.MemRefs++
 
@@ -188,6 +190,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 					c.st.TLBHits++
 					if lvl == tlb.HitL2 {
 						c.now += m.L2TLBPenalty
+						c.st.CPIStack[stats.CPITLBL2] += m.L2TLBPenalty
 					}
 					c.tr = tr
 					c.walked, c.leafDRAM = false, false
@@ -197,6 +200,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 					c.ar = c.hier.Access(c.p, c.write)
 					if c.ar.Served == cache.ServedL1 {
 						c.now += c.ar.Latency
+						c.st.CPIStack[stats.CPIDataL1] += c.ar.Latency
 						if c.sys.ctrl.QueueLen() > 128 {
 							c.sys.ctrl.DrainUpTo(c.now)
 						}
@@ -261,6 +265,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 			case tlb.HitL2:
 				c.st.TLBHits++
 				c.now += m.L2TLBPenalty
+				c.st.CPIStack[stats.CPITLBL2] += m.L2TLBPenalty
 				c.phase = phAccess
 			case tlb.Miss:
 				c.st.TLBMisses++
@@ -268,9 +273,14 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 					if act := c.mech.OnTLBMiss(rec.VAddr, c.now); act.Hit {
 						// The mechanism resolved the translation itself
 						// (e.g. victima's cached PTE): no hardware walk.
+						// The mechanism's PTE read is an on-chip probe, so
+						// its latency lands in walk-pte-cache; the elided
+						// hardware walk is the mech-elided credit.
 						c.tr = act.Translation
 						c.tlb.Insert(act.Translation)
 						c.now += act.Latency
+						c.st.CPIStack[stats.CPIWalkPTECache] += act.Latency
+						c.st.CPIMechElided++
 						c.phase = phAccess
 						continue
 					}
@@ -291,6 +301,12 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 					panic(fmt.Sprintf("walk failed for touched address %#x", uint64(c.rec.VAddr)))
 				}
 				c.now += res.Latency
+				// Split the walk's serialised latency by where the PTE
+				// reads were answered; the remainder is the walker's own
+				// step overhead.
+				c.st.CPIStack[stats.CPIWalkPTECache] += res.CacheLatency
+				c.st.CPIStack[stats.CPIWalkPTEDRAM] += res.DRAMLatency
+				c.st.CPIStack[stats.CPIWalkMMU] += res.Latency - res.CacheLatency - res.DRAMLatency
 				c.tr = res.Translation
 				c.tlb.Insert(c.tr)
 				c.walked, c.leafDRAM = true, res.LeafFromDRAM
@@ -300,6 +316,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 				// TLB fill + pipeline replay before the memory reference
 				// is re-executed: TEMPO's slack window.
 				c.now += m.ReplayRestart
+				c.st.CPIStack[stats.CPIWalkMMU] += m.ReplayRestart
 				c.phase = phAccess
 				continue
 			}
@@ -333,7 +350,7 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 			c.st.PTWDRAMCycles += doneAt - (c.waitAt + c.waitLat)
 			c.waitReq = nil
 			c.pool.Release(req)
-			c.ws.Feed(doneAt-c.waitAt, true)
+			c.ws.FeedDRAM(doneAt-c.waitAt, c.waitLat)
 			c.phase = phWalk
 
 		case phAccess:
@@ -369,17 +386,20 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 			}
 			doneAt := req.Complete + m.Interconnect
 			dramPortion := doneAt - (c.now + c.ar.Latency)
+			c.st.CPIStack[stats.CPIDataLLC] += c.ar.Latency
 			if c.walked {
 				// Post-walk replays serialise: charge the full DRAM
 				// time.
 				c.st.ReplayDRAMCycles += dramPortion
 				c.now = doneAt
+				c.chargeDRAMStall(req, dramPortion, dramPortion)
 			} else {
 				// Independent misses partially overlap with the
 				// out-of-order window.
 				charged := uint64(float64(dramPortion) * m.OtherOverlap)
 				c.st.OtherDRAMCycles += charged
 				c.now += c.ar.Latency + charged
+				c.chargeDRAMStall(req, dramPortion, charged)
 			}
 			c.submitWritebacks(c.hier.FillFromDRAM(c.p, c.write))
 			c.outcome = req.Outcome
@@ -391,16 +411,28 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 		case phTail:
 			c.submitWritebacks(c.ar.Writebacks)
 
-			// Prefetch usefulness.
+			// Prefetch usefulness. A post-walk replay served on-chip from
+			// a prefetched line is a DRAM round trip the prefetch hid —
+			// the hidden-by-prefetch credit (an event count, not cycles:
+			// the counterfactual DRAM time is never simulated).
 			if c.ar.Served == cache.ServedLLC {
 				switch c.ar.Provenance {
 				case cache.FillTempo:
 					c.st.TempoUseful++
+					if c.walked {
+						c.st.CPIHiddenByPrefetch++
+					}
 				case cache.FillIMP:
 					c.st.IMPUseful++
+					if c.walked {
+						c.st.CPIHiddenByPrefetch++
+					}
 				case cache.FillSpec:
 					if c.mech != nil {
 						c.mech.OnPrefetchUseful()
+					}
+					if c.walked {
+						c.st.CPIHiddenByPrefetch++
 					}
 				}
 			}
@@ -478,6 +510,14 @@ func (c *Core) step(limit, budget uint64) (status coreStatus, waitOn *dram.Reque
 func (c *Core) dispatchAccess(m *Machine) *dram.Request {
 	if c.ar.Served != cache.ServedDRAM {
 		c.now += c.ar.Latency
+		switch c.ar.Served {
+		case cache.ServedL1:
+			c.st.CPIStack[stats.CPIDataL1] += c.ar.Latency
+		case cache.ServedL2:
+			c.st.CPIStack[stats.CPIDataL2] += c.ar.Latency
+		default:
+			c.st.CPIStack[stats.CPIDataLLC] += c.ar.Latency
+		}
 		c.servedDRAM = false
 		c.outcome = stats.RowHit // unused when !servedDRAM
 		c.phase = phTail
@@ -497,6 +537,35 @@ func (c *Core) dispatchAccess(m *Machine) *dram.Request {
 	c.waitReq = req
 	c.phase = phAccessResume
 	return req
+}
+
+// chargeDRAMStall splits `charged` stall cycles of a completed demand
+// DRAM request across the queue / service / row-conflict-extra CPI
+// buckets. total is the request's full off-chip portion (interconnect +
+// queue wait + array service); when charged < total (the OtherOverlap
+// path) the queue and conflict shares are prorated by charged/total
+// with integer floors and the remainder lands in service, so the three
+// buckets sum to exactly `charged`. Proration cannot overflow charged:
+// queue + conflict ≤ total, so the floored shares sum to ≤ charged.
+func (c *Core) chargeDRAMStall(req *dram.Request, total, charged uint64) {
+	if charged == 0 {
+		return
+	}
+	queue := req.Issue - req.Enqueue
+	var conflict uint64
+	if req.Outcome == stats.RowConflict {
+		conflict = c.sys.machine.DRAM.Timing.ConflictExtra()
+		if svc := req.Complete - req.Issue; conflict > svc {
+			conflict = svc
+		}
+	}
+	if total > 0 && charged != total {
+		queue = queue * charged / total
+		conflict = conflict * charged / total
+	}
+	c.st.CPIStack[stats.CPIDataDRAMQueue] += queue
+	c.st.CPIStack[stats.CPIRowConflictExtra] += conflict
+	c.st.CPIStack[stats.CPIDataDRAMService] += charged - queue - conflict
 }
 
 // nextRecord pulls the next record, maintaining the IMP lookahead ring.
@@ -583,7 +652,9 @@ func (c *Core) runPrivate() (executed uint64) {
 		rec, _ := c.nextRecord() // the peeked record; cannot fail
 		c.ran++
 		c.rec = rec
-		c.now += (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+		gap := (uint64(rec.Gap) + uint64(m.NonMemIPC) - 1) / uint64(m.NonMemIPC)
+		c.now += gap
+		c.st.CPIStack[stats.CPICompute] += gap
 		c.st.Instructions += uint64(rec.Gap) + 1
 		c.st.MemRefs++
 
@@ -594,6 +665,7 @@ func (c *Core) runPrivate() (executed uint64) {
 		c.st.TLBHits++
 		if lvl == tlb.HitL2 {
 			c.now += m.L2TLBPenalty
+			c.st.CPIStack[stats.CPITLBL2] += m.L2TLBPenalty
 		}
 		c.tr = tr
 		c.walked, c.leafDRAM = false, false
@@ -610,12 +682,14 @@ func (c *Core) runPrivate() (executed uint64) {
 			// queue at or below the threshold and no core submits
 			// during an epoch.
 			c.now += c.ar.Latency
+			c.st.CPIStack[stats.CPIDataL1] += c.ar.Latency
 		case cache.ServedL2:
 			// dispatchAccess's on-chip branch followed by phTail, which
 			// under PrivateAccess has nothing to do: no writebacks (the
 			// cascade stopped above the LLC), no LLC-provenance or
 			// replay bookkeeping (not an LLC hit, not a walk).
 			c.now += c.ar.Latency
+			c.st.CPIStack[stats.CPIDataL2] += c.ar.Latency
 			c.servedDRAM = false
 			c.outcome = stats.RowHit
 			if len(c.ar.Writebacks) != 0 {

@@ -64,7 +64,15 @@ func (s *System) Attach(o *obsv.Observer) {
 		obsv.RegisterStatsGauges(o.Reg, func() stats.Stats {
 			t := *s.mst
 			for _, c := range s.cores {
-				t.Add(c.st)
+				// Mid-run snapshot: stamp the per-core clock the way Run
+				// does at the end, so live gauges satisfy the same
+				// cpi-stack conservation law as finished results. Safe to
+				// copy: gauges fire on the simulation thread (observed
+				// runs are serial).
+				cs := *c.st
+				cs.Cycles = c.now
+				cs.CPICycles = c.now
+				t.Add(&cs)
 			}
 			return t
 		})

@@ -456,6 +456,9 @@ func (s *System) Run() (*Result, error) {
 	res := &Result{TempoOn: s.cfg.Tempo.Enabled}
 	for _, c := range s.cores {
 		c.st.Cycles = c.now
+		// CPICycles sums under Stats.Add (Cycles maxes), making it the
+		// per-core denominator the cpi-stack-sums-to-cycles law checks.
+		c.st.CPICycles = c.now
 		for cl, b := range c.as.FootprintBytes() {
 			c.st.FootprintBytes[cl] = b
 		}

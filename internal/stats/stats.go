@@ -193,6 +193,27 @@ type Stats struct {
 	// Superpage accounting, filled by the OS model: bytes of the
 	// footprint backed by each page size at end of run.
 	FootprintBytes [3]uint64 // indexed by mem.PageSizeClass
+
+	// CPI-stack attribution (OBSERVABILITY.md "CPI stacks"): every
+	// cycle a core's clock advances is charged to exactly one bucket,
+	// so the buckets sum to CPICycles. CPICycles is the per-core cycle
+	// count under summing merge semantics — unlike Cycles (which Add
+	// maxes, giving the multiprogrammed runtime) it accumulates across
+	// cores, making it the stack's denominator in merged views. Zero
+	// CPICycles marks an unattributed result (a cache entry written
+	// before attribution existed); consumers skip the stack then.
+	CPIStack  [NumCPIBuckets]uint64
+	CPICycles uint64
+	// Credit counters ride along with the stack: events where latency
+	// was hidden rather than paid, so they are not part of the cycle
+	// sum. CPIHiddenByPrefetch counts post-walk replays served on-chip
+	// from a prefetched line (TEMPO/IMP/speculative provenance) — each
+	// one a DRAM trip the paper's mechanism absorbed. CPIMechElided
+	// counts TLB misses a translation mechanism resolved without a
+	// hardware walk (victima's cached PTEs). Both are bounded by the
+	// TLB miss count.
+	CPIHiddenByPrefetch uint64
+	CPIMechElided       uint64
 }
 
 // AddDRAMRef records a DRAM reference of the given category with its
@@ -397,4 +418,10 @@ func (s *Stats) Add(o *Stats) {
 	for i := range s.FootprintBytes {
 		s.FootprintBytes[i] += o.FootprintBytes[i]
 	}
+	for i := range s.CPIStack {
+		s.CPIStack[i] += o.CPIStack[i]
+	}
+	s.CPICycles += o.CPICycles
+	s.CPIHiddenByPrefetch += o.CPIHiddenByPrefetch
+	s.CPIMechElided += o.CPIMechElided
 }

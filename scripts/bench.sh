@@ -26,10 +26,12 @@
 #   tempo-report diff <(sed -n 1p BENCH_history.jsonl) <(sed -n '$p' BENCH_history.jsonl)
 #
 # History appends are deduplicated by source revision: re-running at an
-# unchanged commit replaces that commit's last record instead of
-# stacking duplicates, so one line of BENCH_history.jsonl is one
-# measured revision (a dirty tree is its own "-dirty" revision and
-# always re-measures).
+# unchanged commit drops every prior record of that revision before
+# appending the fresh one, so one line of BENCH_history.jsonl is one
+# measured revision wherever the earlier records sit (a dirty tree is
+# its own "-dirty" revision and always re-measures). This also repairs
+# histories seeded before deduplication existed, which could hold runs
+# of identical-revision lines.
 #
 # Usage:  scripts/bench.sh [--dry-run] [records-per-run]   (default 300000)
 #   --dry-run      skip the Go benchmarks and emit canned numbers — for
@@ -117,10 +119,12 @@ echo "wrote ${OUT}" >&2
 cat "${OUT}"
 
 # Append this measurement to the cumulative history, one JSON object
-# per line, stamped with wall-clock time and the source revision. A
-# re-run at the revision already holding the last line replaces that
-# line (newest measurement wins) so an unchanged commit contributes
-# exactly one history record however often the script runs.
+# per line, stamped with wall-clock time and the source revision. Any
+# earlier record of the same revision is dropped first (newest
+# measurement wins) so an unchanged commit contributes exactly one
+# history record however often the script runs — including histories
+# seeded before deduplication existed, whose duplicate rows are
+# collapsed the next time their revision is re-measured.
 HISTORY="${BENCH_HISTORY:-BENCH_history.jsonl}"
 STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -131,10 +135,13 @@ fi
 REV="${COMMIT}${DIRTY}"
 ACTION="appended"
 if [ -s "${HISTORY}" ]; then
-  LAST_REV="$(tail -n 1 "${HISTORY}" | sed -n 's/.*"commit":"\([^"]*\)".*/\1/p')"
-  if [ "${LAST_REV}" = "${REV}" ]; then
-    sed -i '$d' "${HISTORY}"
-    ACTION="replaced last record of"
+  # The outer "commit" key has no space before its value; the inner
+  # snapshot's "baseline_commit": cannot match this fixed string.
+  DUPES="$(grep -cF "\"commit\":\"${REV}\"" "${HISTORY}" || true)"
+  if [ "${DUPES}" -gt 0 ]; then
+    grep -vF "\"commit\":\"${REV}\"" "${HISTORY}" > "${HISTORY}.tmp" || true
+    mv "${HISTORY}.tmp" "${HISTORY}"
+    ACTION="replaced ${DUPES} prior record(s) in"
   fi
 fi
 # Fold the pretty-printed snapshot onto one line (strip indentation

@@ -55,12 +55,48 @@ func TestBenchHistoryDedupesUnchangedCommit(t *testing.T) {
 	}
 
 	out = runBench(t, dir)
-	if !strings.Contains(out, "replaced last record") {
+	if !strings.Contains(out, "replaced 1 prior record(s)") {
 		t.Fatalf("second run at the same revision should replace:\n%s", out)
 	}
 	second := historyLines(t, dir)
 	if len(second) != 1 {
 		t.Fatalf("history after re-run has %d lines, want 1 (duplicate appended)", len(second))
+	}
+}
+
+// A history seeded before deduplication existed can hold several
+// records of one revision, scattered around foreign records. Re-running
+// at that revision collapses all of them into the single fresh record
+// while leaving the foreign records untouched and in order.
+func TestBenchHistoryCollapsesScatteredDuplicates(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	dir := t.TempDir()
+
+	// First run discovers the current revision string.
+	runBench(t, dir)
+	seed := historyLines(t, dir)[0]
+
+	foreign := `{"timestamp":"2026-01-01T00:00:00Z","commit":"deadbee","hotpath":{}}`
+	pre := seed + "\n" + foreign + "\n" + seed + "\n" + seed + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "history.jsonl"), []byte(pre), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runBench(t, dir)
+	if !strings.Contains(out, "replaced 3 prior record(s)") {
+		t.Fatalf("run should collapse all three duplicates:\n%s", out)
+	}
+	lines := historyLines(t, dir)
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines, want 2 (foreign + fresh): %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], `"commit":"deadbee"`) {
+		t.Fatalf("foreign record lost or reordered: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"hotpath":{`) {
+		t.Fatalf("fresh record malformed: %s", lines[1])
 	}
 }
 

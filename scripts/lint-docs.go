@@ -18,6 +18,15 @@
 // "victimax" cannot cover for "victima". Registering a mechanism
 // without writing its spec is fatal.
 //
+// Metric names get the same treatment: every canonical instrument name
+// — the Metric* string constants in internal/obsv plus every string
+// literal passed to a registry Counter / Histogram / Gauge call — must
+// appear in OBSERVABILITY.md, the metric reference. Names built at
+// runtime (fmt.Sprintf per-core prefixes, loop variables) are skipped;
+// their shape is documented as core<i>/... patterns instead. Matching
+// is boundary-aware over the metric charset (letters, digits, _, -, /)
+// so "sys/tlb_misses_total" cannot cover for "sys/tlb_misses".
+//
 // Run from the repository root (CI does):
 //
 //	go run ./scripts/lint-docs.go
@@ -72,6 +81,9 @@ func main() {
 	}
 
 	for _, m := range mechanismDocGaps(root) {
+		fatal = append(fatal, m)
+	}
+	for _, m := range metricDocGaps(root, dirs) {
 		fatal = append(fatal, m)
 	}
 
@@ -277,6 +289,150 @@ func docMentionsWord(doc, name string) bool {
 		}
 		return true
 	}
+}
+
+// metricDocGaps enforces the OBSERVABILITY.md gate: every registered
+// counter/gauge/histogram name must appear in the metric reference.
+// dirs is the package-directory list main already computed. A repo
+// registering no metrics trivially passes; a registered name with no
+// OBSERVABILITY.md (or one the doc never mentions) is fatal.
+func metricDocGaps(root string, dirs []string) []string {
+	names, err := registeredMetricNames(root, dirs)
+	if err != nil {
+		return []string{fmt.Sprintf("metric scan: %v", err)}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	docPath := filepath.Join(root, "OBSERVABILITY.md")
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		return []string{fmt.Sprintf("%d metrics registered but OBSERVABILITY.md is unreadable: %v", len(names), err)}
+	}
+	var gaps []string
+	for _, name := range names {
+		if !docMentionsMetric(string(doc), name) {
+			gaps = append(gaps, fmt.Sprintf(
+				"OBSERVABILITY.md: registered metric %q is never mentioned (document it)", name))
+		}
+	}
+	return gaps
+}
+
+// registryCtors names the obsv.Registry instrument constructors whose
+// first argument is the metric name.
+var registryCtors = map[string]bool{"Counter": true, "Histogram": true, "Gauge": true}
+
+// registeredMetricNames returns the sorted union of (a) the values of
+// Metric* string constants in internal/obsv — the canonical name list
+// every gauge/sweep view registers through — and (b) every string
+// literal passed as the first argument to a Counter/Histogram/Gauge
+// call anywhere in the repo. Computed names (non-literal arguments)
+// are skipped by construction.
+func registeredMetricNames(root string, dirs []string) ([]string, error) {
+	seen := map[string]bool{}
+
+	obsvDir := filepath.Join(root, "internal", "obsv")
+	if _, err := os.Stat(obsvDir); err == nil {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, obsvDir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, id := range vs.Names {
+							if !strings.HasPrefix(id.Name, "Metric") || i >= len(vs.Values) {
+								continue
+							}
+							if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+								if name := strings.Trim(lit.Value, "`\""); name != "" {
+									seen[name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) < 1 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !registryCtors[sel.Sel.Name] {
+						return true
+					}
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if name := strings.Trim(lit.Value, "`\""); name != "" {
+							seen[name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// docMentionsMetric reports whether doc contains name at metric-name
+// boundaries. The metric charset extends the flag charset with '/'
+// (the registry's hierarchy separator), so a full path like
+// "mem/dram_refs/ptw" is matched whole: neither "mem/dram_refs" alone
+// nor "sys/tlb_misses_total" can satisfy it.
+func docMentionsMetric(doc, name string) bool {
+	for i := 0; ; {
+		j := strings.Index(doc[i:], name)
+		if j < 0 {
+			return false
+		}
+		j += i
+		i = j + 1
+		if j > 0 && isMetricChar(doc[j-1]) {
+			continue
+		}
+		if end := j + len(name); end < len(doc) && isMetricChar(doc[end]) {
+			continue
+		}
+		return true
+	}
+}
+
+// isMetricChar reports whether c can appear inside a metric name.
+func isMetricChar(c byte) bool {
+	return c == '/' || isFlagChar(c)
 }
 
 // packageDirs returns every directory under root containing a

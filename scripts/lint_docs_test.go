@@ -106,6 +106,127 @@ func TestMechanismDocGapsNoZooTriviallyPasses(t *testing.T) {
 	}
 }
 
+const obsvSource = `// Package obsv is a fixture.
+package obsv
+
+const (
+	MetricTLBMisses = "sys/tlb_misses"
+	MetricCPICycles = "cpi/cycles"
+	notAMetric      = "sys/ignore_me"
+)
+
+// MetricDocstring is not a name constant (no string literal value).
+var MetricDocstring = MetricTLBMisses
+`
+
+const registrarSource = `// Package sim is a fixture.
+package sim
+
+import "fmt"
+
+func attach(reg registry, prefix string) {
+	reg.Counter("mem/reads")
+	reg.Histogram("dram/queue_depth")
+	reg.Gauge("sim/epochs", nil)
+	reg.Counter(prefix + "/misses")                    // computed: skipped
+	reg.Histogram(fmt.Sprintf("core%d/walk", 0))       // computed: skipped
+}
+`
+
+func TestRegisteredMetricNames(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obsv/audit.go": obsvSource,
+		"internal/sim/obsv.go":   registrarSource,
+		// Registrations in test files must not contribute names.
+		"internal/sim/obsv_test.go": "package sim\n\nfunc f(reg registry) { reg.Counter(\"cpi/test_only\") }\n",
+	})
+	names, err := registeredMetricNames(root, []string{
+		filepath.Join(root, "internal", "obsv"),
+		filepath.Join(root, "internal", "sim"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cpi/cycles", "dram/queue_depth", "mem/reads", "sim/epochs", "sys/tlb_misses"}
+	if len(names) != len(want) {
+		t.Fatalf("registeredMetricNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registeredMetricNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMetricDocGapsFlagsUndocumentedNames(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obsv/audit.go": obsvSource,
+		"internal/sim/obsv.go":   registrarSource,
+		// sys/tlb_misses appears only as a longer name (no boundary
+		// match); cpi/cycles and sim/epochs are absent entirely;
+		// mem/reads and dram/queue_depth are covered.
+		"OBSERVABILITY.md": "# obs\n\n`mem/reads`, dram/queue_depth and sys/tlb_misses_total.\n",
+	})
+	gaps := metricDocGaps(root, []string{
+		filepath.Join(root, "internal", "obsv"),
+		filepath.Join(root, "internal", "sim"),
+	})
+	if len(gaps) != 3 {
+		t.Fatalf("metricDocGaps = %v, want 3 gaps (cpi/cycles, sim/epochs, sys/tlb_misses)", gaps)
+	}
+}
+
+func TestMetricDocGapsPassesWhenAllMentioned(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obsv/audit.go": obsvSource,
+		"internal/sim/obsv.go":   registrarSource,
+		"OBSERVABILITY.md": "# obs\n\n`mem/reads` `dram/queue_depth` `sim/epochs` " +
+			"`sys/tlb_misses` `cpi/cycles`\n",
+	})
+	if gaps := metricDocGaps(root, []string{
+		filepath.Join(root, "internal", "obsv"),
+		filepath.Join(root, "internal", "sim"),
+	}); len(gaps) != 0 {
+		t.Fatalf("metricDocGaps = %v, want none", gaps)
+	}
+}
+
+func TestMetricDocGapsMissingDocIsFatal(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obsv/audit.go": obsvSource,
+	})
+	gaps := metricDocGaps(root, []string{filepath.Join(root, "internal", "obsv")})
+	if len(gaps) != 1 {
+		t.Fatalf("metricDocGaps without OBSERVABILITY.md = %v, want 1", gaps)
+	}
+}
+
+func TestMetricDocGapsNoMetricsTriviallyPasses(t *testing.T) {
+	if gaps := metricDocGaps(t.TempDir(), nil); len(gaps) != 0 {
+		t.Fatalf("metricDocGaps on empty repo = %v, want none", gaps)
+	}
+}
+
+func TestDocMentionsMetricBoundaries(t *testing.T) {
+	cases := []struct {
+		doc, name string
+		want      bool
+	}{
+		{"the `sys/tlb_misses` gauge", "sys/tlb_misses", true},
+		{"sys/tlb_misses_total", "sys/tlb_misses", false},
+		{"mem/dram_refs/ptw", "mem/dram_refs", false}, // prefix of a longer path
+		{"mem/dram_refs/ptw", "mem/dram_refs/ptw", true},
+		{"cpi/cycles.", "cpi/cycles", true}, // '.' is a boundary
+		{"xcpi/cycles", "cpi/cycles", false},
+		{"", "cpi/cycles", false},
+	}
+	for _, c := range cases {
+		if got := docMentionsMetric(c.doc, c.name); got != c.want {
+			t.Errorf("docMentionsMetric(%q, %q) = %v, want %v", c.doc, c.name, got, c.want)
+		}
+	}
+}
+
 func TestDocMentionsWordBoundaries(t *testing.T) {
 	cases := []struct {
 		doc, name string
