@@ -90,7 +90,10 @@ type Controller struct {
 	// sharded drain (as opposed to falling back to the serial path);
 	// ShardedDrains exposes it so tests and callers can tell the two
 	// apart — the results are bit-identical by design.
-	drainsSharded uint64
+	// midDrainsSharded is the same tally for DrainUpToParallel, the
+	// mid-run drain.
+	drainsSharded    uint64
+	midDrainsSharded uint64
 	// pool recycles transactions; eligible is DrainUpTo's reusable
 	// filter scratch. Both keep the steady-state serve path free of
 	// allocations.
@@ -428,6 +431,22 @@ func (c *Controller) DrainUpTo(t uint64) {
 		idx := c.sched.Pick(eligible, c.clock(), c)
 		c.executeSpecific(eligible[idx])
 	}
+}
+
+// MinEnqueue returns the earliest enqueue cycle among queued
+// transactions, or ^uint64(0) when the queue is empty. The epoch
+// coordinator uses it as a conservative clock ceiling: any DrainUpTo(t)
+// with t below this bound retires nothing, so absorbed records that
+// provably stay below it cannot perturb the queue however often the
+// serial guards fire.
+func (c *Controller) MinEnqueue() uint64 {
+	min := ^uint64(0)
+	for _, r := range c.queue {
+		if r.Enqueue < min {
+			min = r.Enqueue
+		}
+	}
+	return min
 }
 
 // executeSpecific serves exactly target (the scheduler has already

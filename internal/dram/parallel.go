@@ -7,10 +7,20 @@ import (
 	"repro/internal/stats"
 )
 
-// drainParallelMin is the queue length below which DrainParallel does
-// not bother sharding: the clone/merge overhead only pays for itself
-// on the deep end-of-run queues the batching coordinator accumulates.
+// drainParallelMin is the number of serveable requests below which the
+// end-of-run sharded drain does not bother sharding: the clone/merge
+// overhead only pays for itself on the deep residual queues the
+// batching coordinator accumulates.
 const drainParallelMin = 64
+
+// midDrainParallelMin is the same break-even for DrainUpToParallel.
+// Mid-run queues are structurally shallow — the walked-record slack
+// drain fires on every walk, so the simulator's own serve discipline
+// caps eligible depth at about a dozen requests across the whole
+// workload registry — which is why the threshold sits far below
+// drainParallelMin: at 64 the mid-run shard path would be dead code on
+// every real configuration.
+const midDrainParallelMin = 8
 
 // drainShard is one channel's speculative drain: the channel's
 // sub-queue (in global queue order), a clone of its timing domain, and
@@ -25,6 +35,10 @@ type drainShard struct {
 	frontier      uint64
 	served        uint64
 	servedWaiters uint64
+	// safeUntil is the tightest conditional-pick bound this shard's
+	// drain relied on: every pick is proven for serial clocks at or
+	// below it. ^0 when every pick was unconditionally invariant.
+	safeUntil uint64
 	// releases defers pool releases (writeback AutoRelease, prefetch
 	// pair drops) to the install phase: the pool is not thread-safe
 	// and free-list mutation order must stay deterministic.
@@ -57,6 +71,120 @@ func (p *shardPeeker) WouldRowHitReq(r *Request) bool {
 	return r.wouldHit
 }
 
+// shardable reports whether the controller's serve path is free of the
+// cross-channel side effects that would invalidate a sharded drain of
+// reqs: a shardable scheduler, no stateful sub-row allocation
+// (FOA/POA), no active event recorder (serve events must interleave in
+// serial order), no queued leaf-PT reads with a TEMPO observer
+// attached (the observer submits new cross-channel requests), and no
+// queued prefetches with a completion callback (the callback order
+// feeds the LLC fill queue). Only the requests about to be served
+// matter for the per-request conditions.
+func (c *Controller) shardable(reqs []*Request) (ShardablePicker, bool) {
+	sp, ok := c.sched.(ShardablePicker)
+	if !ok || c.SubAlloc != nil || c.Rec.Active() {
+		return nil, false
+	}
+	for _, r := range reqs {
+		if (r.IsLeafPT && c.Observer != nil) || (r.Prefetch && c.OnPrefetchDone != nil) {
+			return nil, false
+		}
+	}
+	return sp, true
+}
+
+// shardByChannel partitions reqs by channel, preserving global queue
+// order within each shard (the scheduler's index tie-breaks depend on
+// it), cloning each touched channel's timing domain.
+func (c *Controller) shardByChannel(reqs []*Request) []*drainShard {
+	shards := make([]*drainShard, len(c.chans))
+	active := make([]*drainShard, 0, len(c.chans))
+	for _, r := range reqs {
+		ch := r.loc.Channel
+		sh := shards[ch]
+		if sh == nil {
+			sh = &drainShard{ch: ch, cs: c.chans[ch].clone(), safeUntil: ^uint64(0)}
+			shards[ch] = sh
+			active = append(active, sh)
+		}
+		sh.queue = append(sh.queue, r)
+	}
+	return active
+}
+
+// runShards drains every active shard speculatively on up to `workers`
+// concurrent goroutines and reports whether every channel finished
+// with every pick proven. Conditional picks (finite safeUntil) are
+// validated here against the drain's clock ceiling: the serial clock
+// is the issue frontier, which starts at c.frontier and never exceeds
+// any speculative serve's issue time — the serial drain serves exactly
+// the union of the shard sequences, so max(starting frontier, every
+// shard's final frontier) bounds the clock at every serial pick. If
+// that ceiling clears every shard's safeUntil, each conditional pick
+// is the pick the serial scheduler would have made at its (unknown but
+// bounded) clock.
+func (c *Controller) runShards(sp ShardablePicker, active []*drainShard, workers int) bool {
+	// The sub-row partition slices are built lazily on first use; force
+	// them into existence before workers read them concurrently.
+	c.buildSubRowPartitions()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, sh := range active {
+		wg.Add(1)
+		go func(sh *drainShard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			sh.ok = c.drainOneShard(sp, sh)
+			<-sem
+		}(sh)
+	}
+	wg.Wait()
+	ceiling := c.frontier
+	for _, sh := range active {
+		if !sh.ok {
+			return false
+		}
+		if sh.frontier > ceiling {
+			ceiling = sh.frontier
+		}
+	}
+	for _, sh := range active {
+		if ceiling > sh.safeUntil {
+			return false
+		}
+	}
+	return true
+}
+
+// installShards commits the speculative drains: clones become the live
+// channel state, shard stats and counters merge (sums — commutative,
+// applied in channel order for definiteness), and deferred pool
+// releases run in channel order so the free list stays deterministic.
+func (c *Controller) installShards(active []*drainShard) {
+	for _, sh := range active {
+		c.chans[sh.ch] = sh.cs
+		c.st.Add(&sh.st)
+		c.served += sh.served
+		c.servedWaiters += sh.servedWaiters
+		if sh.frontier > c.frontier {
+			c.frontier = sh.frontier
+		}
+		for _, r := range sh.releases {
+			c.pool.Release(r)
+		}
+	}
+}
+
+// scrubSpeculative resets the result fields and row-hit memos a
+// discarded speculative drain wrote into r, returning it to its
+// pre-drain queued state.
+func scrubSpeculative(r *Request) {
+	r.Done, r.Issue, r.Complete = false, 0, 0
+	r.Outcome = 0
+	r.hitVersion, r.wouldHit = 0, false
+}
+
 // DrainParallel executes everything in the queue, like Drain, but
 // shards the work across per-channel workers when it can prove the
 // result is bit-identical to the serial drain. The proof obligation is
@@ -75,109 +203,120 @@ func (p *shardPeeker) WouldRowHitReq(r *Request) bool {
 // failure discards all clones, resets the requests' result fields and
 // row-hit memos, and falls back to the serial Drain.
 //
-// Runs whose serve path has cross-channel side effects fall back
-// immediately: stateful sub-row allocation (FOA/POA), an active event
-// recorder (serve events must interleave in serial order), queued
-// leaf-PT reads with a TEMPO observer attached (the observer submits
-// new cross-channel requests), or queued prefetches with a completion
-// callback (the callback order feeds the LLC fill queue).
+// Runs whose serve path has cross-channel side effects (see shardable)
+// fall back immediately.
 func (c *Controller) DrainParallel(workers int) {
 	if workers <= 1 || len(c.queue) < drainParallelMin || len(c.chans) < 2 {
 		c.Drain()
 		return
 	}
-	sp, ok := c.sched.(ShardablePicker)
-	if !ok || c.SubAlloc != nil || c.Rec.Active() {
+	sp, ok := c.shardable(c.queue)
+	if !ok {
 		c.Drain()
 		return
 	}
-	for _, r := range c.queue {
-		if (r.IsLeafPT && c.Observer != nil) || (r.Prefetch && c.OnPrefetchDone != nil) {
-			c.Drain()
-			return
-		}
-	}
-
-	// Partition the queue by channel, preserving global queue order
-	// within each shard (the scheduler's index tie-breaks depend on it).
-	shards := make([]*drainShard, len(c.chans))
-	active := make([]*drainShard, 0, len(c.chans))
-	for _, r := range c.queue {
-		ch := r.loc.Channel
-		sh := shards[ch]
-		if sh == nil {
-			sh = &drainShard{ch: ch, cs: c.chans[ch].clone()}
-			shards[ch] = sh
-			active = append(active, sh)
-		}
-		sh.queue = append(sh.queue, r)
-	}
+	active := c.shardByChannel(c.queue)
 	if len(active) < 2 {
 		c.Drain()
 		return
 	}
-	// The sub-row partition slices are built lazily on first use; force
-	// them into existence before workers read them concurrently.
-	c.buildSubRowPartitions()
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for _, sh := range active {
-		wg.Add(1)
-		go func(sh *drainShard) {
-			defer wg.Done()
-			sem <- struct{}{}
-			sh.ok = c.drainOneShard(sp, sh)
-			<-sem
-		}(sh)
-	}
-	wg.Wait()
-
-	for _, sh := range active {
-		if !sh.ok {
-			// A channel hit a clock-dependent pick: the speculative
-			// schedules are unusable as a whole (the remainder of a
-			// partially-committed drain would see a different frontier
-			// trajectory than pure serial). Discard every clone, scrub
-			// the result fields and version memos the speculative
-			// serves wrote into the requests, and drain serially.
-			for _, r := range c.queue {
-				r.Done, r.Issue, r.Complete = false, 0, 0
-				r.Outcome = 0
-				r.hitVersion, r.wouldHit = 0, false
-			}
-			c.Drain()
-			return
+	if !c.runShards(sp, active, workers) {
+		// A channel hit a clock-dependent pick: the speculative
+		// schedules are unusable as a whole (the remainder of a
+		// partially-committed drain would see a different frontier
+		// trajectory than pure serial). Discard every clone, scrub
+		// the requests, and drain serially.
+		for _, r := range c.queue {
+			scrubSpeculative(r)
 		}
+		c.Drain()
+		return
 	}
-
-	// Install: clones become the live channel state, shard stats and
-	// counters merge (sums — commutative, applied in channel order for
-	// definiteness), and deferred pool releases run in channel order so
-	// the free list stays deterministic.
-	for _, sh := range active {
-		c.chans[sh.ch] = sh.cs
-		c.st.Add(&sh.st)
-		c.served += sh.served
-		c.servedWaiters += sh.servedWaiters
-		if sh.frontier > c.frontier {
-			c.frontier = sh.frontier
-		}
-		for _, r := range sh.releases {
-			c.pool.Release(r)
-		}
-	}
+	c.installShards(active)
 	c.queue = c.queue[:0]
 	c.drainsSharded++
+}
+
+// DrainUpToParallel is DrainUpTo with the serve work sharded by
+// channel under the same proof obligations as DrainParallel, plus one:
+// the set of requests schedulable at or before t must be fixed for the
+// whole drain. Serial DrainUpTo re-filters eligibility after every
+// serve because a serve may enqueue new work; the same gates that keep
+// the sharded serves free of cross-channel side effects (no TEMPO
+// observer behind a queued leaf-PT read, no prefetch-completion
+// callback behind a queued prefetch) also prove no eligible serve
+// enqueues anything, so the eligible set computed up front is exactly
+// the set the serial loop would retire, in the same per-channel order.
+// Requests enqueued after t stay queued, untouched and in order.
+//
+// This is the mid-run counterpart of DrainParallel: the walked-record
+// slack-window drain and the queue-pressure guards call it with the
+// deep TEMPO/writeback queues that previously ran — and serialized the
+// epoch engine — one serve at a time.
+func (c *Controller) DrainUpToParallel(t uint64, workers int) {
+	if workers <= 1 || len(c.chans) < 2 {
+		c.DrainUpTo(t)
+		return
+	}
+	eligible := c.eligible[:0]
+	for _, r := range c.queue {
+		if r.Enqueue <= t {
+			eligible = append(eligible, r)
+		}
+	}
+	c.eligible = eligible[:0]
+	if len(eligible) < midDrainParallelMin {
+		c.DrainUpTo(t)
+		return
+	}
+	sp, ok := c.shardable(eligible)
+	if !ok {
+		c.DrainUpTo(t)
+		return
+	}
+	active := c.shardByChannel(eligible)
+	if len(active) < 2 {
+		c.DrainUpTo(t)
+		return
+	}
+	if !c.runShards(sp, active, workers) {
+		// Same all-or-nothing discard as DrainParallel, but only the
+		// eligible requests were touched speculatively.
+		for _, r := range c.queue {
+			if r.Enqueue <= t {
+				scrubSpeculative(r)
+			}
+		}
+		c.DrainUpTo(t)
+		return
+	}
+	c.installShards(active)
+	// Compact the queue down to the ineligible residue, preserving its
+	// order. Served requests leave the queue exactly as serial
+	// executeSpecific removes them; AutoRelease requests were already
+	// recycled by installShards and must not linger here.
+	keep := c.queue[:0]
+	for _, r := range c.queue {
+		if r.Enqueue > t {
+			keep = append(keep, r)
+		}
+	}
+	c.queue = keep
+	c.midDrainsSharded++
 }
 
 // ShardedDrains reports how many DrainParallel calls actually
 // committed a sharded drain rather than falling back to Drain.
 func (c *Controller) ShardedDrains() uint64 { return c.drainsSharded }
 
+// ShardedMidDrains reports how many DrainUpToParallel calls actually
+// committed a sharded mid-run drain rather than falling back to the
+// serial DrainUpTo.
+func (c *Controller) ShardedMidDrains() uint64 { return c.midDrainsSharded }
+
 // drainOneShard serves a channel's whole sub-queue on its cloned
 // timing domain, proving every pick clock-invariant as it goes. It
-// mirrors executeOne exactly minus the paths the DrainParallel gates
+// mirrors executeOne exactly minus the paths the shardable gates
 // excluded: no recorder events, no observer/prefetch callbacks, no
 // sub-row allocator, and Scheduler.OnServed elided (ShardablePicker
 // implementations keep no serve history). Returns false the moment a
@@ -186,9 +325,12 @@ func (c *Controller) drainOneShard(sp ShardablePicker, sh *drainShard) bool {
 	peek := &shardPeeker{c: c, cs: &sh.cs}
 	q := sh.queue
 	for len(q) > 0 {
-		idx, ok := sp.PickInvariant(q, peek)
+		idx, safe, ok := sp.PickInvariant(q, peek)
 		if !ok {
 			return false
+		}
+		if safe < sh.safeUntil {
+			sh.safeUntil = safe
 		}
 		r := q[idx]
 		q = append(q[:idx], q[idx+1:]...)

@@ -47,6 +47,11 @@ type JobResult struct {
 	Wall time.Duration
 	// FromCache reports that the persistent cache supplied the result.
 	FromCache bool
+	// Parallel is the intra-run parallel engine's statistics for an
+	// executed job (zero value for cache hits, custom executors, and
+	// serial runs — ParallelStats.Workers == 0 distinguishes "no
+	// engine" from "engine ran but never engaged").
+	Parallel sim.ParallelStats
 }
 
 // Options configures a Pool.
@@ -77,6 +82,10 @@ type Options struct {
 // accumulate across batches.
 type Pool struct {
 	opts Options
+	// exec is the resolved executor: the default path runs
+	// sim.RunStats so executed jobs carry their ParallelStats; a
+	// custom Options.Exec is adapted with zero stats.
+	exec func(sim.Config) (*sim.Result, sim.ParallelStats, error)
 
 	executed  atomic.Uint64
 	hits      atomic.Uint64
@@ -99,17 +108,22 @@ func New(opts Options) *Pool {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	if opts.Exec == nil {
-		opts.Exec = sim.Run
-	}
-	if opts.SimWorkers != 0 {
-		exec := opts.Exec
-		opts.Exec = func(cfg sim.Config) (*sim.Result, error) {
-			cfg.Workers = opts.SimWorkers
-			return exec(cfg)
+	exec := sim.RunStats
+	if opts.Exec != nil {
+		custom := opts.Exec
+		exec = func(cfg sim.Config) (*sim.Result, sim.ParallelStats, error) {
+			res, err := custom(cfg)
+			return res, sim.ParallelStats{}, err
 		}
 	}
-	return &Pool{opts: opts}
+	if opts.SimWorkers != 0 {
+		inner := exec
+		exec = func(cfg sim.Config) (*sim.Result, sim.ParallelStats, error) {
+			cfg.Workers = opts.SimWorkers
+			return inner(cfg)
+		}
+	}
+	return &Pool{opts: opts, exec: exec}
 }
 
 // Parallelism returns the configured worker count.
@@ -273,7 +287,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 	}
 	p.misses.Add(1)
 	start := time.Now()
-	res, err := p.execute(ctx, j.Config)
+	res, ps, err := p.execute(ctx, j.Config)
 	wall := time.Since(start)
 	p.wallTotal.Add(int64(wall))
 	if err != nil {
@@ -290,7 +304,7 @@ func (p *Pool) runOne(ctx context.Context, j Job, hash string) JobResult {
 			}
 		}
 	}
-	return JobResult{Key: j.Key, Hash: hash, Result: res, Wall: wall}
+	return JobResult{Key: j.Key, Hash: hash, Result: res, Wall: wall, Parallel: ps}
 }
 
 // noteSchemaMismatch runs after a cache miss: if the cache holds
@@ -316,13 +330,14 @@ func (p *Pool) noteSchemaMismatch(c *DiskCache) {
 // outcome carries one execution's result across the guard goroutine.
 type outcome struct {
 	res *sim.Result
+	ps  sim.ParallelStats
 	err error
 }
 
 // execute runs one simulation under panic recovery and the configured
 // timeout. The simulation itself has no preemption points, so timeout
 // and cancellation abandon it rather than interrupting it.
-func (p *Pool) execute(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+func (p *Pool) execute(ctx context.Context, cfg sim.Config) (*sim.Result, sim.ParallelStats, error) {
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -331,8 +346,8 @@ func (p *Pool) execute(ctx context.Context, cfg sim.Config) (*sim.Result, error)
 				ch <- outcome{err: fmt.Errorf("simulation panicked: %v\n%s", r, debug.Stack())}
 			}
 		}()
-		res, err := p.opts.Exec(cfg)
-		ch <- outcome{res: res, err: err}
+		res, ps, err := p.exec(cfg)
+		ch <- outcome{res: res, ps: ps, err: err}
 	}()
 	var timeout <-chan time.Time
 	if p.opts.Timeout > 0 {
@@ -342,10 +357,10 @@ func (p *Pool) execute(ctx context.Context, cfg sim.Config) (*sim.Result, error)
 	}
 	select {
 	case o := <-ch:
-		return o.res, o.err
+		return o.res, o.ps, o.err
 	case <-timeout:
-		return nil, fmt.Errorf("timed out after %v (simulation abandoned)", p.opts.Timeout)
+		return nil, sim.ParallelStats{}, fmt.Errorf("timed out after %v (simulation abandoned)", p.opts.Timeout)
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, sim.ParallelStats{}, ctx.Err()
 	}
 }

@@ -90,19 +90,26 @@ func (s *FRFCFS) classScore(r *dram.Request, rows dram.RowPeeker) int {
 // OnServed implements dram.Scheduler.
 func (s *FRFCFS) OnServed(*dram.Request, uint64) {}
 
-// PickInvariant implements dram.ShardablePicker: it returns the index
-// Pick(q, now, rows) would return for every possible controller clock,
-// when one exists. The proof shape: score(r, now) is either the
-// clock-free class score or 100 when the starvation guard fires, and
-// the guard's over-age set grows monotonically with now while ordering
-// its members by the same (Enqueue, index) key Pick's tie-break uses.
-// So for any now, Pick returns either the class-score winner (no
-// request over-age) or the globally oldest request (some request
-// over-age — the oldest is over-age first and wins every comparison at
-// score 100). When those two candidates coincide, the pick is the same
-// for all clocks; when they differ, no invariant answer exists and the
-// caller must fall back to clock-accurate serial picking.
-func (s *FRFCFS) PickInvariant(q []*dram.Request, rows dram.RowPeeker) (int, bool) {
+// PickInvariant implements dram.ShardablePicker. The proof shape:
+// score(r, now) is either the clock-free class score or 100 when the
+// starvation guard fires, and the guard's over-age set grows
+// monotonically with now while ordering its members by the same
+// (Enqueue, index) key Pick's tie-break uses. So for any now, Pick
+// returns either the class-score winner (no request over-age) or the
+// globally oldest request (some request over-age — the oldest is
+// over-age first and wins every comparison at score 100).
+//
+// When those two candidates coincide, the pick is the same for every
+// clock (safeUntil = ^0). When they differ, the class-score winner is
+// still the pick for every clock at which the guard is dormant — the
+// guard fires for request r only once now > r.Enqueue + ageCap, and
+// the oldest request crosses that line first — so the pick is proven
+// conditionally up to safeUntil = oldest.Enqueue + ageCap. The caller
+// must bound the serial drain's clock below that before trusting it;
+// mid-run drains over young queues virtually always pass, which is
+// what lets DrainUpToParallel shard queues whose FR-FCFS row-hit
+// winner is not the oldest request.
+func (s *FRFCFS) PickInvariant(q []*dram.Request, rows dram.RowPeeker) (int, uint64, bool) {
 	oldest := 0
 	best, bestScore := 0, -1
 	for i, r := range q {
@@ -115,7 +122,7 @@ func (s *FRFCFS) PickInvariant(q []*dram.Request, rows dram.RowPeeker) (int, boo
 		}
 	}
 	if best != oldest {
-		return 0, false
+		return best, q[oldest].Enqueue + s.ageCap(), true
 	}
-	return best, true
+	return best, ^uint64(0), true
 }

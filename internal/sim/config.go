@@ -198,6 +198,18 @@ type Config struct {
 	// cache hashes: the same configuration hits the same cache entry
 	// whatever the worker count.
 	Workers int `json:"-"`
+
+	// EpochQueueMax bounds the controller queue depth (in queued
+	// requests) at which the epoch engine still runs its full mode —
+	// absorbing shared-capable records and submitting their DRAM
+	// traffic under the epoch budget. Deeper queues drop to the
+	// private-only mode bounded by the queue's minimum enqueue cycle.
+	// 0 selects the default (128, matching the serial engine's
+	// queue-pressure guard). Like Workers this is an execution knob,
+	// not a simulated parameter: results are bit-identical at every
+	// value, so it is excluded from the JSON the runner's
+	// content-addressed result cache hashes.
+	EpochQueueMax int `json:"-"`
 }
 
 // DefaultConfig builds a single-core run of the named workload with

@@ -167,12 +167,14 @@ func TestCPIMechElidedEngages(t *testing.T) {
 	}
 }
 
-// TestObserverForcesSerialEngine pins the contract satellite 1 of the
-// CPI work depends on: attaching an interval observer to a Workers>1
+// TestObserverForcesSerialEngine pins the contract the CPI interval
+// series depends on: attaching an *interval* observer to a Workers>1
 // run must force the serial engine — epochs never engage, so interval
 // snapshots see a quiescent serial interleaving instead of merging
 // per-worker state nondeterministically — and the result must be
-// bit-identical to the observed Workers=1 run.
+// bit-identical to the observed Workers=1 run. (A pure full-range
+// event recorder is epoch-capable — TestEpochsEngageObserved — but
+// interval stats and record-range filters are not.)
 func TestObserverForcesSerialEngine(t *testing.T) {
 	cfg := localCfg(4)
 	cfg.Records = 40_000

@@ -67,8 +67,9 @@ func (s *System) Attach(o *obsv.Observer) {
 				// Mid-run snapshot: stamp the per-core clock the way Run
 				// does at the end, so live gauges satisfy the same
 				// cpi-stack conservation law as finished results. Safe to
-				// copy: gauges fire on the simulation thread (observed
-				// runs are serial).
+				// copy: gauges fire on the simulation thread, and interval
+				// snapshots force the serial engine (only full-range event
+				// recorders are epoch-capable).
 				cs := *c.st
 				cs.Cycles = c.now
 				cs.CPICycles = c.now
@@ -76,11 +77,12 @@ func (s *System) Attach(o *obsv.Observer) {
 			}
 			return t
 		})
-		// Intra-run parallelism counters. An attached observer
-		// serializes execution (every epoch attempt gates off on
-		// s.obs != nil), so these gauges read zero on observed runs —
-		// they are registered anyway so dashboards see a stable schema,
-		// and they document that property rather than hide it.
+		// Intra-run parallelism counters. Interval observers force the
+		// serial engine (epoch attempts gate off on interval stats and
+		// record-range filters), so these gauges read zero on
+		// interval-observed runs; a pure full-range event recorder is
+		// epoch-capable and sees live values. They are registered
+		// unconditionally so dashboards get a stable schema either way.
 		o.Reg.Gauge("sim/epochs", func() uint64 {
 			return s.ParallelStats().Epochs
 		})
@@ -89,6 +91,20 @@ func (s *System) Attach(o *obsv.Observer) {
 		})
 		o.Reg.Gauge("sim/epoch_records", func() uint64 {
 			return s.ParallelStats().EpochRecords
+		})
+		// The canonical engagement gauge: epoch-absorbed records as a
+		// fraction of all executed records, in basis points (10000 =
+		// every record ran inside an epoch). The denominator reads the
+		// live per-core progress so the gauge is meaningful mid-run.
+		o.Reg.Gauge("sim/epoch_engagement_bp", func() uint64 {
+			var total uint64
+			for _, c := range s.cores {
+				total += uint64(c.ran)
+			}
+			if total == 0 {
+				return 0
+			}
+			return s.ParallelStats().EpochRecords * 10_000 / total
 		})
 		for w := 0; w < s.cfg.Workers; w++ {
 			w := w

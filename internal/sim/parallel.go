@@ -2,18 +2,167 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/dram"
 )
 
-// epochQueueMax is the controller queue depth above which epochs
-// are off: the serial fast path's writeback-pressure guard would
-// fire (QueueLen > 128 → DrainUpTo), and a drain is shared-state
-// work an epoch must not do. At or below it, no core submits during
-// an epoch, so the guard provably stays dormant.
-const epochQueueMax = 128
+// serialGuardQueue is the controller queue depth above which the
+// serial execution paths fire their queue-pressure guard
+// (QueueLen > serialGuardQueue → DrainUpTo). The epoch coordinator's
+// soundness arguments are stated against this constant, NOT against
+// the tunable Config.EpochQueueMax: the guard threshold is part of the
+// simulated machine's behaviour, while EpochQueueMax only decides when
+// epochs are worth attempting (any value is bit-identical).
+const serialGuardQueue = 128
 
-// epochTask asks a pool worker to run one core's maximal private
-// prefix and store the executed-record count in out.
+// defaultEpochQueueMax is the Config.EpochQueueMax applied when the
+// config leaves it zero.
+const defaultEpochQueueMax = serialGuardQueue
+
+// epochSubmitMargin is the least remaining submission budget a shared
+// commit requires before entering its turn: one demand DRAM request
+// plus a conservative bound on the dirty writebacks one LLC fill
+// cascade can evict. The commit decrements the budget per actual
+// submission and panics if it ever overdraws — the margin is a proof
+// obligation, not a tuning knob.
+const epochSubmitMargin = 8
+
+// Deterministic probe backoff: a classify scan that found no epoch, or
+// an epoch that absorbed fewer than epochMinUseful records, did not pay
+// for its TLB peeks (or its barrier), so the coordinator skips the next
+// `backoff` aligned probe opportunities — doubling from epochBackoffMin
+// up to epochBackoffMax. Only opportunities that pass the cheap
+// alignment pre-filter are charged: unaligned iterations cost a few
+// field reads and are not worth rationing, while skipping thousands of
+// aligned ones would miss the (short-lived) windows in which epochs can
+// engage at all. The ceiling is deliberately low — co-awake alignment
+// windows are scarce (they only arise when a drain completes several
+// parked cores' requests inside one batch), so an aggressive backoff
+// starves the engine of the few chances it gets. All inputs to the
+// backoff are deterministic counters, so the probe schedule (and with
+// it the ParallelStats gauges) is reproducible for a given worker
+// count.
+const (
+	epochMinUseful  = 16
+	epochBackoffMin = 2
+	epochBackoffMax = 8
+)
+
+// epochObsBufCap bounds each core's buffered observability events per
+// epoch; a core whose next record would overflow the buffer stops and
+// finishes the run's remainder under the serial engine's direct Emit.
+const epochObsBufCap = 4096
+
+// Lane states, published by each participant so peers can order their
+// shared-state commits without the coordinator.
+const (
+	// laneRunning: the participant is still absorbing records; its pub
+	// clock is live and strictly increasing.
+	laneRunning uint32 = iota
+	// laneBlocked: the participant stopped with pending serial-only
+	// work (a page walk, a budget/ceiling refusal) at its pub clock.
+	// Peers must not commit shared state at or beyond that clock.
+	laneBlocked
+	// laneOpen: the participant parked on DRAM or exhausted its trace;
+	// it constrains nothing further this epoch.
+	laneOpen
+)
+
+// epochLane is one core's published progress, padded so two cores'
+// lanes never share a cache line.
+type epochLane struct {
+	// pub is the core's boundary clock after its last committed record
+	// (monotone within an epoch).
+	pub atomic.Uint64
+	// state is one of laneRunning/laneBlocked/laneOpen.
+	state atomic.Uint32
+	_     [116]byte
+}
+
+// epochState is the per-epoch contract between the coordinator and the
+// participants: who runs, under which queue mode, and the clock
+// ceilings that keep shared-state commits inside the serial order.
+// Everything here is written by the coordinator before dispatch and
+// only read during the epoch, except the lanes (atomics) and budget
+// (mutated strictly under the turn's mutual exclusion).
+type epochState struct {
+	// parts lists the participating core ids in ascending order (the
+	// deterministic merge order for buffered observability events).
+	parts []int
+	// lanes is indexed by core id.
+	lanes []epochLane
+	// full marks queue mode 1: the controller queue is shallow enough
+	// (≤ min(EpochQueueMax, serialGuardQueue)) that shared-capable
+	// records may commit under the turn protocol, spending budget.
+	full bool
+	// limit is queue mode 2's clock ceiling (^uint64(0) when unused):
+	// with a deep queue no participant may submit, and every absorbed
+	// record must finish strictly below limit = the controller's
+	// minimum enqueue cycle, so the serial guard's DrainUpTo(now)
+	// would not have served anything at any absorbed point.
+	limit uint64
+	// budget (mode 1) is the number of DRAM submissions the epoch may
+	// make while provably keeping the live queue at or below
+	// serialGuardQueue, so the serial guard stays dormant.
+	budget int
+	// ceil[i] is the largest boundary clock at which core i may commit
+	// a shared-capable record: the min over non-participant cores with
+	// pending effects of their clock (minus one when that core's id is
+	// lower, mirroring the serial coordinator's tie-break). sharedOK[i]
+	// is false when a lower-id constrainer sits at clock 0, where the
+	// tie-break has no representable ceiling.
+	ceil     []uint64
+	sharedOK []bool
+}
+
+// waitTurn blocks until every peer participant provably cannot commit
+// at a boundary clock at or before (t, id) in the serial (clock, id)
+// order, then returns true — the caller owns the shared-state turn
+// until it publishes a pub beyond t. Returns false when a peer stopped
+// laneBlocked at or before t: its pending serial work might precede
+// this commit, so the caller must stop too.
+//
+// Mutual exclusion: a participant holding the turn at t has pub == t
+// (pub advances only after the commit finishes). Two simultaneous
+// holders i < j at t_i, t_j would each have passed the other's lane:
+// i passing j needs pub_j > t_i or (pub_j == t_i and j > i), and j
+// passing i needs pub_i > t_j — i.e. t_i > t_j and t_j ≥ t_i (or the
+// tie resolved both ways), a contradiction. Commits therefore
+// serialize in ascending (t, id), exactly the serial pick order.
+//
+// Liveness: among spinning participants the least (t, id) passes every
+// peer (a running peer's pub equals its own pending t, which is
+// larger or tied with a larger id), so some participant always
+// progresses; parked and exhausted peers are laneOpen and pass
+// trivially; laneBlocked peers abort the waiter instead of wedging it.
+func (es *epochState) waitTurn(id int, t uint64) bool {
+	for _, j := range es.parts {
+		if j == id {
+			continue
+		}
+		lane := &es.lanes[j]
+		for spins := 0; ; spins++ {
+			st := lane.state.Load()
+			pub := lane.pub.Load()
+			if st == laneOpen || pub > t || (pub == t && j > id) {
+				break
+			}
+			if st == laneBlocked {
+				return false
+			}
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return true
+}
+
+// epochTask asks a pool worker to run one core's epoch body and store
+// the executed-record count in out.
 type epochTask struct {
 	c   *Core
 	out *uint64
@@ -29,10 +178,33 @@ type epochPool struct {
 	tasks   chan epochTask
 	wg      sync.WaitGroup
 
-	// parts/outs are per-epoch scratch (participant core ids and their
-	// executed-record counts), sized once to the core count.
-	parts []int
-	outs  []uint64
+	// es is the current epoch's contract; its slices are sized once to
+	// the core count and reused.
+	es epochState
+
+	// obsOK records that the attached observer (if any) is
+	// epoch-capable: no interval series (snapshot membership is
+	// interleave-defined) and an unfiltered event recorder (BeginRecord
+	// toggling is monotone, so it can be pre-armed outside the serial
+	// interleaving).
+	obsOK bool
+	// queueMax is the resolved Config.EpochQueueMax.
+	queueMax int
+
+	// outs is per-epoch scratch (participants' executed-record
+	// counts); sel/trim are the participant-cap scratch; kind[i] is
+	// core i's classification from the current probe's scan.
+	outs []uint64
+	sel  []int
+	trim []int
+	kind []nextKind
+
+	// skipProbes/backoff implement the deterministic probe backoff;
+	// yieldOn caches the cores' current epoch-seeding yield state so
+	// tryEpoch only rewrites it on transitions.
+	skipProbes int
+	backoff    int
+	yieldOn    bool
 
 	// perWorker[w] counts records executed by worker goroutine w —
 	// the utilization split the obsv gauges expose.
@@ -48,10 +220,18 @@ func newEpochPool(workers, cores int) *epochPool {
 		workers = cores
 	}
 	p := &epochPool{
-		workers:   workers,
-		tasks:     make(chan epochTask, cores),
-		parts:     make([]int, 0, cores),
+		workers: workers,
+		tasks:   make(chan epochTask, cores),
+		es: epochState{
+			parts:    make([]int, 0, cores),
+			lanes:    make([]epochLane, cores),
+			ceil:     make([]uint64, cores),
+			sharedOK: make([]bool, cores),
+		},
 		outs:      make([]uint64, cores),
+		sel:       make([]int, 0, cores),
+		trim:      make([]int, 0, cores),
+		kind:      make([]nextKind, cores),
 		perWorker: make([]uint64, workers),
 	}
 	for w := 0; w < workers; w++ {
@@ -73,86 +253,333 @@ func (p *epochPool) runTask(w int, t epochTask) {
 	defer func() {
 		if r := recover(); r != nil {
 			t.c.err = fmt.Errorf("core %d (epoch): %v", t.c.id, r)
+			// A panicked participant must still release its peers:
+			// leave the lane blocked so spinning waiters abort instead
+			// of waiting forever for a pub that will never advance.
+			p.es.lanes[t.c.id].state.Store(laneBlocked)
 		}
 	}()
-	n := t.c.runPrivate()
+	n := t.c.runEpoch(&p.es)
 	*t.out = n
 	p.perWorker[w] += n
 }
 
-// tryEpoch attempts one parallel epoch: if at least two ready cores
-// sit at a record boundary with a provably private next record (see
-// Core.privateReady), they advance through their private prefixes
-// concurrently — between barriers, on the worker pool — and the
-// coordinator resumes serial min-clock picking with their clocks
-// updated. Returns the records executed (0 means the caller should
-// fall through to the serial pick; progress is then guaranteed by the
-// serial path, so the loop cannot spin).
-//
-// Soundness: private records touch only their own core's TLB/L1/L2 and
-// clock, so they commute with every record of every other core; any
-// interleaving — including the concurrent one — reaches the same state
-// the serial coordinator would. The epoch-level gates keep the
-// commit's residual shared-state touchpoints provable no-ops: no
-// observer (no event order to preserve, no interval-flush record
-// counts to hit), fill queue empty (ApplyFills is a no-op), controller
-// queue uncongested (the writeback guard cannot fire). The run-ahead
-// limit is irrelevant here — it exists to order shared-state
-// interactions, and private records have none.
-func (s *System) tryEpoch(status []int, clock []uint64) (uint64, error) {
+// noteEpochOutcome applies the deterministic backoff bookkeeping after
+// a classify scan or epoch that absorbed `total` records. The backoff
+// rations only the classify/dispatch cost; the epoch-seeding yields
+// are governed separately by the co-awake state (see tryEpoch), since
+// their fragmentation tax exists exactly when several cores are awake
+// — which is also the only time they buy anything.
+func (s *System) noteEpochOutcome(total uint64) {
 	p := s.par
-	p.parts = p.parts[:0]
-	if s.obs == nil && s.ctrl.QueueLen() <= epochQueueMax && len(s.mem.pending) == 0 {
-		for i, c := range s.cores {
-			if status[i] == stReady && c.privateReady() {
-				p.parts = append(p.parts, i)
+	if total >= epochMinUseful {
+		p.backoff = 0
+		return
+	}
+	p.backoff *= 2
+	if p.backoff < epochBackoffMin {
+		p.backoff = epochBackoffMin
+	}
+	if p.backoff > epochBackoffMax {
+		p.backoff = epochBackoffMax
+	}
+	p.skipProbes = p.backoff
+}
+
+// setEpochYield toggles the cores' epoch-seeding yield. The yield is
+// result-invariant (it stops a batch at a record boundary the pick
+// loop would re-select), so toggling it never changes results — only
+// where the coordinator gets a chance to probe.
+func (s *System) setEpochYield(v bool) {
+	for _, c := range s.cores {
+		c.epochYield = v
+	}
+}
+
+// tryEpoch attempts one parallel epoch: if at least two ready cores sit
+// at a record boundary with an absorbable next record (TLB-peek hit —
+// see Core.classifyNext), they advance concurrently on the worker pool
+// until each hits a record it cannot prove absorbable, then the
+// coordinator resumes serial min-clock picking with their clocks (or
+// parked statuses) updated. Returns the records executed (0 means the
+// caller should fall through to the serial pick; progress is then
+// guaranteed by the serial path, so the loop cannot spin).
+//
+// Soundness, by record class (DESIGN.md "Epoch-barrier parallel
+// coordinator" carries the full argument):
+//
+//   - Private records (TLB-peek hit + PrivateAccess) touch only their
+//     core's TLB/L1/L2 and clock, so they commute with every record of
+//     every other core and need no ordering at all.
+//   - Shared-capable records (TLB-peek hit, not private) are committed
+//     one at a time under the lanes' turn protocol, in ascending
+//     (boundary clock, core id) — exactly the serial pick order — and
+//     only below the core's ceiling, so no non-participant could have
+//     been picked in between. The LLC stamp sequence, controller
+//     submissions and queue-depth samples therefore match the serial
+//     run bit for bit.
+//   - Records that might walk (TLB-peek miss) or whose core is
+//     mid-record never enter an epoch.
+//
+// The queue modes keep the serial paths' queue-pressure guard provably
+// dormant: mode 1 (shallow queue) bounds submissions with es.budget so
+// the live queue never exceeds serialGuardQueue; mode 2 (deep queue)
+// forbids submissions and bounds every absorbed record's clock below
+// the queue's minimum enqueue cycle, so a guard-fired DrainUpTo(now)
+// would have served nothing. The fill-queue gate makes ApplyFills a
+// no-op at every absorbed point.
+func (s *System) tryEpoch(status []int, clock []uint64, waitReq []*dram.Request) (uint64, error) {
+	p := s.par
+	if !p.obsOK {
+		return 0, nil
+	}
+	// Cheap alignment pre-filter: an epoch needs at least two ready
+	// cores sitting at a record boundary with trace left. Plain field
+	// reads — no TLB peeks — so this runs every serial iteration
+	// without rationing.
+	aligned, ready := 0, 0
+	for i, c := range s.cores {
+		if status[i] == stReady {
+			ready++
+			if c.phase == phRecord && c.ran < c.records {
+				aligned++
 			}
 		}
 	}
-	if len(p.parts) < 2 {
-		// A near-miss — exactly one core sat at a private record
-		// boundary with no partner — is a barrier stall; zero
-		// candidates is just an ordinary serial iteration.
-		if len(p.parts) == 1 {
-			p.stalls++
-		}
+	// Epoch-seeding yields are worth their batch-fragmentation tax
+	// exactly while several cores are awake: that is the only state in
+	// which a yield can align two cores at record boundaries, and also
+	// the only state in which batches would otherwise blow through the
+	// alignment window. A lone awake core (the common state between
+	// drain-driven multi-wakes) sprints unfragmented.
+	if yield := ready >= 2; yield != p.yieldOn {
+		p.yieldOn = yield
+		s.setEpochYield(yield)
+	}
+	if aligned < 2 {
 		return 0, nil
 	}
+	if p.skipProbes > 0 {
+		p.skipProbes--
+		return 0, nil
+	}
+	if len(s.mem.pending) != 0 {
+		return 0, nil
+	}
+	es := &p.es
+	qlen := s.ctrl.QueueLen()
+	es.full = qlen <= p.queueMax && qlen <= serialGuardQueue
+	es.limit = ^uint64(0)
+	es.budget = 0
+	if es.full {
+		es.budget = serialGuardQueue - qlen
+	} else if qlen > serialGuardQueue {
+		es.limit = s.ctrl.MinEnqueue()
+	}
 
-	p.wg.Add(len(p.parts))
-	for k, i := range p.parts {
+	es.parts = es.parts[:0]
+	p.trim = p.trim[:0]
+	for i, c := range s.cores {
+		if status[i] != stReady {
+			continue
+		}
+		k := c.classifyNext()
+		p.kind[i] = k
+		switch k {
+		case nextPrivate:
+			es.parts = append(es.parts, i)
+		case nextShared:
+			// Shared-capable cores are only worth dispatching when the
+			// budget lets them commit at least once; otherwise they
+			// would block at their first turn and the epoch would
+			// absorb nothing.
+			if es.full && es.budget >= epochSubmitMargin {
+				es.parts = append(es.parts, i)
+			} else {
+				p.trim = append(p.trim, i)
+			}
+		case nextSerial:
+			p.trim = append(p.trim, i)
+		}
+	}
+	if len(es.parts) < 2 {
+		// A near-miss — exactly one core sat at an absorbable record
+		// boundary with no partner — is a barrier stall; zero
+		// candidates is just an ordinary serial iteration. Either way
+		// the probe found no epoch, so back off.
+		if len(es.parts) == 1 {
+			p.stalls++
+		}
+		s.noteEpochOutcome(0)
+		return 0, nil
+	}
+	if es.full && len(es.parts) > p.workers {
+		// In full mode a participant can spin in waitTurn while holding
+		// its pool worker; capping participants at the worker count
+		// keeps every spinner's awaited peer dispatched (no livelock).
+		// Keep the earliest (clock, id) candidates — the ones the
+		// serial order commits first — and demote the rest to
+		// constrainers.
+		sel := p.sel[:0]
+		for _, i := range es.parts {
+			sel = append(sel, i)
+			for k := len(sel) - 1; k > 0 && clock[sel[k]] < clock[sel[k-1]]; k-- {
+				sel[k], sel[k-1] = sel[k-1], sel[k]
+			}
+		}
+		p.sel = sel
+		p.trim = append(p.trim, sel[p.workers:]...)
+		kept := sel[:p.workers]
+		es.parts = es.parts[:0]
+		for _, i := range kept {
+			es.parts = append(es.parts, i)
+			for k := len(es.parts) - 1; k > 0 && es.parts[k] < es.parts[k-1]; k-- {
+				es.parts[k], es.parts[k-1] = es.parts[k-1], es.parts[k]
+			}
+		}
+	}
+
+	if es.full {
+		// Ceilings: every ready non-participant with pending effects
+		// (a possible walk, a mid-record resume, a demoted candidate)
+		// bounds the participants' shared commits to clocks the serial
+		// coordinator could not have given away first. Parked cores
+		// impose nothing — no request completes during an epoch (no
+		// serves happen), so they cannot wake before the barrier.
+		// Exhausted cores (nextNone) retire without executing and
+		// commute with everything.
+		//
+		// A shared-capable participant already above its ceiling would
+		// block before committing anything; demote it to a constrainer
+		// instead of dispatching it. Each demotion can only tighten the
+		// remaining participants' ceilings, so iterate to a fixpoint
+		// (at most one round per participant).
+		for {
+			for _, i := range es.parts {
+				es.ceil[i] = ^uint64(0)
+				es.sharedOK[i] = true
+				for _, j := range p.trim {
+					l := clock[j]
+					if j < i {
+						if l == 0 {
+							es.sharedOK[i] = false
+							continue
+						}
+						l--
+					}
+					if l < es.ceil[i] {
+						es.ceil[i] = l
+					}
+				}
+			}
+			demoted := false
+			kept := es.parts[:0]
+			for _, i := range es.parts {
+				if p.kind[i] == nextShared && (!es.sharedOK[i] || clock[i] > es.ceil[i]) {
+					p.trim = append(p.trim, i)
+					demoted = true
+					continue
+				}
+				kept = append(kept, i)
+			}
+			es.parts = kept
+			if !demoted {
+				break
+			}
+		}
+		if len(es.parts) < 2 {
+			if len(es.parts) == 1 {
+				p.stalls++
+			}
+			s.noteEpochOutcome(0)
+			return 0, nil
+		}
+	}
+
+	// Pre-arm the event recorder: BeginRecord toggles a shared bitmask,
+	// so participants must not call it concurrently. The obsOK gate
+	// guarantees an unfiltered recorder, for which BeginRecord is
+	// monotone (capture only ever turns on), so arming every
+	// participant here, in core-id order, reaches the same recorder
+	// state as the serial interleaving.
+	if s.obs != nil && s.obs.Rec != nil {
+		for _, i := range es.parts {
+			s.obs.Rec.BeginRecord(i, uint64(s.cores[i].ran))
+		}
+	}
+	for _, i := range es.parts {
+		es.lanes[i].pub.Store(clock[i])
+		es.lanes[i].state.Store(laneRunning)
+	}
+	p.wg.Add(len(es.parts))
+	for k, i := range es.parts {
 		p.outs[k] = 0
 		p.tasks <- epochTask{c: s.cores[i], out: &p.outs[k]}
 	}
 	p.wg.Wait()
 
-	p.epochs++
-	var total uint64
-	for k, i := range p.parts {
+	var total, parked uint64
+	for k, i := range es.parts {
 		c := s.cores[i]
 		if c.err != nil {
 			return 0, c.err
 		}
-		clock[i] = c.now
+		if c.waitReq != nil {
+			// The core parked on a DRAM request mid-epoch: same
+			// transition the serial coordinator makes on coreWait
+			// (clock stays stale until the wake loop reads Complete).
+			status[i] = stParked
+			waitReq[i] = c.waitReq
+			parked++
+		} else {
+			clock[i] = c.now
+		}
 		total += p.outs[k]
 	}
-	p.epochRecords += total
-	return total, nil
+	// Merge buffered observability events into the shared ring in
+	// core-id order — the one deterministic order that does not depend
+	// on worker scheduling. The ring's interleaving may differ from the
+	// serial run's (the event multiset does not); see DESIGN.md.
+	if s.obs != nil && s.obs.Rec != nil {
+		for _, i := range es.parts {
+			c := s.cores[i]
+			for _, ev := range c.obsBuf {
+				c.obs.Emit(ev)
+			}
+			c.obsBuf = c.obsBuf[:0]
+		}
+	}
+	if total == 0 {
+		p.stalls++
+	} else {
+		p.epochs++
+		p.epochRecords += total
+	}
+	s.noteEpochOutcome(total)
+	// Parked records were counted into total by their worker (the
+	// front half ran inside the epoch) but the serial engine counts
+	// them into the run's record tally when their DRAM wait resolves —
+	// discount them here so recordsDone sees each record once.
+	return total - parked, nil
 }
 
 // ParallelStats reports what the intra-run parallel machinery did.
 // Zero values throughout mean the run was serial (Workers <= 1, a
-// single core, or an attached observer).
+// single core, or an epoch-incapable observer — interval stats or a
+// filtered event recorder).
 type ParallelStats struct {
 	// Workers is the pool size (0 when no pool was created).
 	Workers int
-	// Epochs counts successful parallel epochs (barriers).
+	// Epochs counts parallel epochs that absorbed at least one record.
 	Epochs uint64
 	// BarrierStalls counts epoch near-misses: probes that found
-	// exactly one private-ready core — a private run with no partner
-	// to pair it with — and fell through to the serial pick.
+	// exactly one absorbable core — a run with no partner to pair it
+	// with — or dispatched an epoch that absorbed nothing.
 	BarrierStalls uint64
-	// EpochRecords is the total records executed inside epochs.
+	// EpochRecords is the total records executed inside epochs. A
+	// record that parked on DRAM mid-epoch counts: its front half
+	// (TLB, caches, the DRAM submission) ran there, even though its
+	// wait resolved under the serial engine.
 	EpochRecords uint64
 	// WorkerRecords[w] is the records executed by pool worker w.
 	WorkerRecords []uint64

@@ -3,8 +3,10 @@ package sim
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
+	"repro/internal/obsv"
 	"repro/internal/vm"
 )
 
@@ -117,6 +119,271 @@ func TestEpochsEngage(t *testing.T) {
 	}
 	t.Logf("epochs=%d stalls=%d epoch_records=%d worker split=%v",
 		ps.Epochs, ps.BarrierStalls, ps.EpochRecords, ps.WorkerRecords)
+}
+
+// sprintCfg builds the strongest engagement case for clock-window
+// epochs: four cores over a SHARED LLC-resident footprint
+// (blackscholes over 1.5MB — well inside the 4MB LLC and the STLB's
+// 4K reach). Epochs need cores co-awake at a record boundary, and the
+// serial schedule only produces that via drain-driven multi-wakes:
+// while the shared lines warm, several cores routinely miss on the
+// same in-flight line, so one drain or funnel completes many parked
+// waiters at once and the pack emerges together. A *private*
+// LLC-resident sprint never does this — once a lone core is picked it
+// runs with an unbounded window (parked peers impose no run-ahead
+// limit) straight to its next park, and the all-parked funnel wakes
+// exactly one waiter per serve, so fully-resident solo tails are
+// structurally serial no matter how provable the records are. The
+// shared footprint is what turns LLC residency into epoch fuel.
+func sprintCfg(cores int) Config {
+	cfg := DefaultConfig("blackscholes.small")
+	cfg.Records = 100_000
+	cfg.Seed = 7
+	cfg.SharedAddressSpace = true
+	cfg.Workloads = nil
+	for i := 0; i < cores; i++ {
+		cfg.Workloads = append(cfg.Workloads, WorkloadSpec{
+			Name: "blackscholes.small", Footprint: 1536 << 10, Seed: int64(i + 1),
+		})
+	}
+	return cfg
+}
+
+// TestEpochsEngageSprint checks the clock-window prover on the
+// LLC-resident sprint: the shared-footprint config above keeps cores
+// co-awake through warmup, so the engine must engage repeatedly — not
+// just once — and still match serial exactly. Thresholds sit at
+// roughly half the measured engagement (137 epochs / 1012 records at
+// this seed) so the test flags a heuristic regression without pinning
+// exact scheduler behavior.
+func TestEpochsEngageSprint(t *testing.T) {
+	cfg := sprintCfg(4)
+	cfg.Workers = 1
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+
+	cfg.Workers = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Errorf("workers=4 diverged from serial (cycles %d vs %d)",
+			res.Total.Cycles, ref.Total.Cycles)
+	}
+
+	ps := s.ParallelStats()
+	if ps.Epochs < 60 {
+		t.Errorf("epochs = %d on the LLC-resident sprint, want >= 60", ps.Epochs)
+	}
+	total := uint64(len(cfg.Workloads) * cfg.Records)
+	if ps.EpochRecords < 500 {
+		t.Errorf("epochs absorbed %d records on the sprint, want >= 500", ps.EpochRecords)
+	}
+	t.Logf("sprint: epochs=%d stalls=%d epoch_records=%d/%d (%.1f%%)",
+		ps.Epochs, ps.BarrierStalls, ps.EpochRecords, total,
+		100*float64(ps.EpochRecords)/float64(total))
+}
+
+// TestEpochsEngageObserved checks that a pure full-range event
+// recorder no longer forces the serial engine: epochs must engage,
+// the Result must stay bit-identical, and the recorded event stream
+// must be the serial stream up to the documented relaxation — the
+// ring's ORDER may differ (per-worker buffers merge at each barrier
+// in core-id order, not global commit order) but the event MULTISET
+// must match exactly.
+func TestEpochsEngageObserved(t *testing.T) {
+	cfg := sprintCfg(4)
+	cfg.Records = 40_000
+
+	observedRun := func(workers int) (*Result, ParallelStats, []obsv.Event) {
+		cfg.Workers = workers
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obsv.New(obsv.Options{Trace: true, TraceCapacity: 1 << 21})
+		s.Attach(o)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := o.Rec.Dropped(); d != 0 {
+			t.Fatalf("workers=%d: ring dropped %d events; grow TraceCapacity", workers, d)
+		}
+		return res, s.ParallelStats(), o.Rec.Events()
+	}
+
+	ref, _, refEv := observedRun(1)
+	res, ps, ev := observedRun(4)
+
+	if ps.Epochs == 0 {
+		t.Error("no epochs under a full-range event recorder")
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Errorf("observed workers=4 diverged from observed serial (cycles %d vs %d)",
+			res.Total.Cycles, ref.Total.Cycles)
+	}
+	if len(ev) != len(refEv) {
+		t.Fatalf("event count %d != serial %d", len(ev), len(refEv))
+	}
+	sortEvents(refEv)
+	sortEvents(ev)
+	for i := range ev {
+		if ev[i] != refEv[i] {
+			t.Fatalf("event multiset diverged at sorted index %d: %+v vs %+v",
+				i, ev[i], refEv[i])
+		}
+	}
+	t.Logf("observed: epochs=%d epoch_records=%d events=%d",
+		ps.Epochs, ps.EpochRecords, len(ev))
+}
+
+// sortEvents orders events by every field so two slices compare as
+// multisets.
+func sortEvents(ev []obsv.Event) {
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		switch {
+		case a.Cycle != b.Cycle:
+			return a.Cycle < b.Cycle
+		case a.Core != b.Core:
+			return a.Core < b.Core
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Addr != b.Addr:
+			return a.Addr < b.Addr
+		case a.Aux != b.Aux:
+			return a.Aux < b.Aux
+		case a.Dur != b.Dur:
+			return a.Dur < b.Dur
+		case a.A != b.A:
+			return a.A < b.A
+		default:
+			return a.B < b.B
+		}
+	})
+}
+
+// storeHeavyCfg builds a deep-queue run: store-heavy big-footprint
+// workloads evict dirty LLC lines on most misses, so writebacks (which
+// nothing waits on) pile up in the controller queue past the serial
+// guard threshold and the mid-run drain guard fires while cores are
+// still executing — the state the sharded DrainUpToParallel path
+// exists for. TEMPO stays off: its leaf-PT observers pin mid-run
+// drains to the serial fallback by design.
+func storeHeavyCfg(name string, cores, records int, seed int64, mode vm.PageMode) Config {
+	cfg := DefaultConfig(name)
+	cfg.Records = records
+	cfg.Seed = seed
+	cfg.OS.Mode = mode
+	cfg.Workloads = nil
+	for i := 0; i < cores; i++ {
+		cfg.Workloads = append(cfg.Workloads, WorkloadSpec{
+			Name: name, Footprint: 64 << 20, Seed: int64(i + 1),
+		})
+	}
+	return cfg
+}
+
+// TestWorkersShardDifferential is the differential sweep for the
+// mid-run sharded DRAM serve: ≥12 deep-queue configurations, each run
+// at Workers 1, 2 and 4, must be bit-identical — and across the sweep
+// the sharded DrainUpToParallel path must actually have fired, or the
+// test is vacuously pinning the serial fallback.
+func TestWorkersShardDifferential(t *testing.T) {
+	type tc struct {
+		name    string
+		cores   int
+		records int
+		seed    int64
+		mode    vm.PageMode
+	}
+	// The milc cases are the load-bearing ones: its streaming stores
+	// pile writebacks deep enough for the guard drain to find 8+
+	// eligible requests, so those runs actually commit sharded mid-run
+	// drains (verified via ShardedMidDrains below). The rest of the
+	// sweep varies workload, core count and page mode for breadth on
+	// the fallback boundary — drains that probe the shard path and
+	// must fall back serially without perturbing the result.
+	cases := []tc{
+		{"milc.small", 4, 25_000, 5, vm.ModeTHP},
+		{"milc.small", 4, 30_000, 8, vm.ModeTHP},
+		{"milc.small", 4, 20_000, 7, vm.ModeTHP},
+		{"milc.small", 4, 20_000, 1, vm.ModeTHP},
+		{"mcf", 3, 2_000, 1, vm.ModeTHP},
+		{"mcf", 4, 2_000, 2, vm.Mode4KOnly},
+		{"canneal", 3, 2_000, 3, vm.ModeTHP},
+		{"graph500", 4, 1_500, 6, vm.Mode4KOnly},
+		{"spmv", 3, 2_000, 7, vm.ModeTHP},
+		{"sgms", 4, 1_500, 10, vm.Mode4KOnly},
+		{"lsh", 3, 2_000, 11, vm.ModeTHP},
+		{"illustris", 4, 1_500, 12, vm.Mode4KOnly},
+	}
+	if testing.Short() {
+		cases = cases[:4]
+	}
+	var sharded uint64
+	for i, c := range cases {
+		cfg := storeHeavyCfg(c.name, c.cores, c.records, c.seed, c.mode)
+		cfg.Workers = 1
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("config %d (%s) serial: %v", i, c.name, err)
+		}
+		for _, w := range []int{2, 4} {
+			cfg.Workers = w
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatalf("config %d (%s) workers=%d: %v", i, c.name, w, err)
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("config %d (%s cores=%d mode=%v): workers=%d diverged from serial "+
+					"(cycles %d vs %d)",
+					i, c.name, c.cores, c.mode, w, res.Total.Cycles, ref.Total.Cycles)
+			}
+			sharded += s.ctrl.ShardedMidDrains()
+		}
+	}
+	if sharded == 0 {
+		t.Error("no run took the sharded mid-run drain path; sweep only pinned the serial fallback")
+	}
+	t.Logf("sharded mid-run drains across sweep: %d", sharded)
+}
+
+// TestEpochQueueMaxInvariance pins the EpochQueueMax contract the
+// `json:"-"` tag rests on: it is an execution knob, so any value must
+// produce the bit-identical result (only engagement may shift).
+func TestEpochQueueMaxInvariance(t *testing.T) {
+	cfg := localCfg(4)
+	cfg.Records = 20_000
+	cfg.Workers = 4
+	cfg.EpochQueueMax = 0
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	for _, q := range []int{1, 8, 128, 1 << 30} {
+		cfg.EpochQueueMax = q
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("EpochQueueMax=%d: %v", q, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("EpochQueueMax=%d changed the result (cycles %d vs %d)",
+				q, res.Total.Cycles, ref.Total.Cycles)
+		}
+	}
 }
 
 // TestSerialRunHasNoPool pins the Workers<=1 contract: the exact

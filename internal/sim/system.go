@@ -307,19 +307,36 @@ func (s *System) Run() (*Result, error) {
 	// Intra-run parallelism: an epoch worker pool when the config asks
 	// for workers and the run shape permits it. IMP rules epochs out
 	// entirely — its lookahead ring and background walks couple records
-	// across the shared memory system — so skip even the pool. Runs
-	// with an attached observer keep the pool (its gauges stay
-	// readable) but every epoch attempt gates off, so they execute
-	// serially and all parallelism counters read zero.
+	// across the shared memory system — so skip even the pool.
+	// Observer-attached runs are epoch-capable when the observer is a
+	// pure full-range recorder: workers buffer its events per core and
+	// the coordinator merges them at the barrier. Interval stats and
+	// record-range filters still force the serial engine (their
+	// mid-record registry reads and non-monotone range toggles cannot
+	// be replayed from a barrier); those runs keep the pool (gauges
+	// stay readable) but every epoch attempt gates off.
 	if s.cfg.Workers > 1 && n > 1 && !s.cfg.IMP && !s.mechHooks {
 		s.par = newEpochPool(s.cfg.Workers, n)
 		defer s.par.close()
-		if s.obs == nil {
+		s.par.queueMax = s.cfg.EpochQueueMax
+		if s.par.queueMax <= 0 {
+			s.par.queueMax = defaultEpochQueueMax
+		}
+		s.par.obsOK = s.obs == nil || (s.obs.IntervalEvery == 0 &&
+			(s.obs.Rec == nil || s.obs.Rec.FullRange()))
+		if s.par.obsOK {
 			// Ask the cores for the extra (result-invariant) yield at
-			// private-run starts that gives the epoch probe something
-			// to find; see Core.epochYield.
+			// absorbable-run starts that gives the epoch probe
+			// something to find; see Core.epochYield. tryEpoch keeps the
+			// yield in lockstep with the co-awake state from here on.
+			s.par.yieldOn = true
 			for _, c := range s.cores {
 				c.epochYield = true
+			}
+			if s.obs != nil && s.obs.Rec != nil {
+				for _, c := range s.cores {
+					c.obsBuf = make([]obsv.Event, 0, epochObsBufCap)
+				}
 			}
 		}
 	}
@@ -346,11 +363,13 @@ func (s *System) Run() (*Result, error) {
 			}
 		}
 		// Parallel epoch: when several ready cores face provably
-		// private records, run those prefixes concurrently and come
-		// back for the serial pick afterwards (0 executed falls
-		// through, so the serial path guarantees progress).
+		// walk-free records, run those prefixes concurrently —
+		// private records freely, shared ones turn-serialized in the
+		// serial commit order — and come back for the serial pick
+		// afterwards (0 executed falls through, so the serial path
+		// guarantees progress).
 		if s.par != nil {
-			ep, err := s.tryEpoch(status, clock)
+			ep, err := s.tryEpoch(status, clock, waitReq)
 			if err != nil {
 				return nil, err
 			}
@@ -493,4 +512,18 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return s.Run()
+}
+
+// RunStats is Run plus the run's parallel-engine statistics (all-zero
+// on serial runs), for callers that surface engagement telemetry.
+func RunStats(cfg Config) (*Result, ParallelStats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, ParallelStats{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, ParallelStats{}, err
+	}
+	return res, s.ParallelStats(), nil
 }

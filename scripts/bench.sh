@@ -89,6 +89,16 @@ fi
 B_T_RS=441601; B_T_NS=2264; B_T_BP=115
 B_G_RS=790535; B_G_NS=1265; B_G_BP=73
 
+# Host metadata. The parallel numbers — intra_run_speedup above all —
+# are only comparable between measurements taken on hosts with the same
+# core count (a single-CPU host can never show a Workers=4 speedup), so
+# every snapshot and history record carries the machine it was measured
+# on. GOMAXPROCS defaults to the CPU count when the variable is unset,
+# mirroring the Go runtime.
+NUM_CPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+HOST_GOMAXPROCS="${GOMAXPROCS:-${NUM_CPU}}"
+GO_VERSION="$(go env GOVERSION 2>/dev/null || echo unknown)"
+
 speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
 cat > "${OUT}" <<EOF
@@ -96,6 +106,7 @@ cat > "${OUT}" <<EOF
   "benchmark": "per-record hot path (go test -bench, one op = one trace record)",
   "records_per_run": ${RECORDS},
   "baseline_commit": "de0e01d (goroutine-coroutine scheduler)",
+  "host": { "num_cpu": ${NUM_CPU}, "gomaxprocs": ${HOST_GOMAXPROCS}, "go_version": "${GO_VERSION}" },
   "xsbench_tempo": {
     "before": { "records_per_sec": ${B_T_RS}, "ns_per_record": ${B_T_NS}, "bytes_per_record": ${B_T_BP} },
     "after":  { "records_per_sec": ${T_RS}, "ns_per_record": ${T_NS}, "bytes_per_record": ${T_BP}, "allocs_per_record": ${T_AP} },

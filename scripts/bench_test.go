@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -61,6 +62,48 @@ func TestBenchHistoryDedupesUnchangedCommit(t *testing.T) {
 	second := historyLines(t, dir)
 	if len(second) != 1 {
 		t.Fatalf("history after re-run has %d lines, want 1 (duplicate appended)", len(second))
+	}
+}
+
+// Every snapshot (and therefore every history record, which embeds the
+// snapshot verbatim) carries the host it was measured on: the parallel
+// numbers — intra_run_speedup above all — only compare across hosts
+// with the same core count, and the perf gate keys its strictness off
+// num_cpu.
+func TestBenchSnapshotCarriesHostMetadata(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	dir := t.TempDir()
+	runBench(t, dir)
+
+	blob, err := os.ReadFile(filepath.Join(dir, "hotpath.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Host struct {
+			NumCPU     int    `json:"num_cpu"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			GoVersion  string `json:"go_version"`
+		} `json:"host"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, blob)
+	}
+	if snap.Host.NumCPU < 1 {
+		t.Errorf("host.num_cpu = %d, want >= 1", snap.Host.NumCPU)
+	}
+	if snap.Host.GOMAXPROCS < 1 {
+		t.Errorf("host.gomaxprocs = %d, want >= 1", snap.Host.GOMAXPROCS)
+	}
+	if !strings.HasPrefix(snap.Host.GoVersion, "go") {
+		t.Errorf("host.go_version = %q, want a goX.Y.Z string", snap.Host.GoVersion)
+	}
+	// The history record embeds the snapshot, host object included.
+	line := historyLines(t, dir)[0]
+	if !strings.Contains(line, `"host":`) || !strings.Contains(line, `"num_cpu":`) {
+		t.Errorf("history record lost the host metadata: %s", line)
 	}
 }
 
